@@ -1,0 +1,41 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  The full
+paper-scale inputs would take hours in pure Python, so the benchmarks run the
+complete pipeline at a reduced input scale (the same code path, fewer
+blocks); pass ``--slc-scale`` to change it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slc-scale",
+        action="store",
+        default=str(1.0 / 512.0),
+        help="workload input scale used by the figure benchmarks",
+    )
+    parser.addoption(
+        "--slc-workloads",
+        action="store",
+        default="",
+        help="comma-separated subset of benchmarks (default: all nine)",
+    )
+
+
+@pytest.fixture(scope="session")
+def slc_scale(request) -> float:
+    """Workload input scale for the figure benchmarks."""
+    return float(request.config.getoption("--slc-scale"))
+
+
+@pytest.fixture(scope="session")
+def slc_workloads(request) -> list[str] | None:
+    """Optional subset of benchmarks to run."""
+    raw = request.config.getoption("--slc-workloads").strip()
+    if not raw:
+        return None
+    return [name.strip().upper() for name in raw.split(",") if name.strip()]

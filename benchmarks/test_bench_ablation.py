@@ -1,0 +1,117 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the individual SLC mechanisms:
+the lossy-threshold sweep, the value predictor and the TSLC-OPT extra tree
+nodes, plus the raw throughput of the compressor implementations.
+"""
+
+import numpy as np
+
+from repro.compression import get_compressor
+from repro.core import SLCCompressor, SLCConfig, SLCMode, SLCVariant
+from repro.experiments.fig1_compression_ratio import workload_blocks
+from repro.utils.sampling import sample_evenly
+
+
+def _blocks(scale):
+    return workload_blocks("FWT", scale=scale)
+
+
+def test_bench_threshold_sweep(benchmark, slc_scale):
+    """How the lossy threshold trades converted blocks for approximated bits."""
+    blocks = _blocks(slc_scale)
+
+    def sweep():
+        results = {}
+        for threshold in (0, 4, 8, 16, 24, 32):
+            slc = SLCCompressor(SLCConfig(lossy_threshold_bytes=threshold))
+            slc.train(sample_evenly(blocks, 1024))
+            decisions = [slc.analyze(block) for block in blocks]
+            lossy = sum(d.mode is SLCMode.LOSSY for d in decisions)
+            bursts = sum(d.bursts for d in decisions)
+            results[threshold] = (lossy / len(blocks), bursts)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for threshold, (fraction, bursts) in results.items():
+        print(f"threshold {threshold:>2} B: lossy fraction {fraction:5.1%}, bursts {bursts}")
+    # A higher threshold can only convert more blocks and never costs bursts.
+    fractions = [results[t][0] for t in sorted(results)]
+    bursts = [results[t][1] for t in sorted(results)]
+    assert fractions == sorted(fractions)
+    assert bursts == sorted(bursts, reverse=True)
+    assert results[0][0] == 0.0
+
+
+def test_bench_predictor_ablation(benchmark, slc_scale):
+    """Zero fill (SIMP) vs. lane-aware value prediction (PRED) reconstruction error."""
+    blocks = _blocks(slc_scale)
+
+    def measure():
+        errors = {}
+        for variant in (SLCVariant.SIMP, SLCVariant.PRED):
+            slc = SLCCompressor(SLCConfig(variant=variant))
+            slc.train(sample_evenly(blocks, 1024))
+            total = 0.0
+            count = 0
+            for block in blocks:
+                decision = slc.analyze(block)
+                if decision.mode is not SLCMode.LOSSY:
+                    continue
+                original = np.frombuffer(block, dtype=np.float32).astype(np.float64)
+                degraded = np.frombuffer(
+                    slc.apply_decision(block, decision), dtype=np.float32
+                ).astype(np.float64)
+                total += float(np.mean(np.abs(original - degraded)))
+                count += 1
+            errors[variant.value] = total / max(1, count)
+        return errors
+
+    errors = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for variant, error in errors.items():
+        print(f"{variant}: mean per-block absolute error {error:.4f}")
+    assert errors["tslc-pred"] <= errors["tslc-simp"]
+
+
+def test_bench_opt_tree_ablation(benchmark, slc_scale):
+    """Over-approximation (overshoot bits) with and without the extra nodes."""
+    blocks = _blocks(slc_scale)
+
+    def measure():
+        overshoot = {}
+        for variant in (SLCVariant.PRED, SLCVariant.OPT):
+            slc = SLCCompressor(SLCConfig(variant=variant))
+            slc.train(sample_evenly(blocks, 1024))
+            overshoot[variant.value] = sum(
+                slc.analyze(block).overshoot_bits for block in blocks
+            )
+        return overshoot
+
+    overshoot = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for variant, bits in overshoot.items():
+        print(f"{variant}: total overshoot {bits} bits")
+    assert overshoot["tslc-opt"] <= overshoot["tslc-pred"]
+
+
+def test_bench_compressor_throughput(benchmark, slc_scale):
+    """Blocks-per-second throughput of the lossless compressor implementations."""
+    blocks = _blocks(slc_scale)[:256]
+
+    def compress_all():
+        totals = {}
+        for name in ("bdi", "fpc", "cpack", "e2mc"):
+            compressor = get_compressor(name)
+            compressor.train(sample_evenly(blocks, 256))
+            totals[name] = sum(
+                compressor.compress(block).compressed_size_bits for block in blocks
+            )
+        return totals
+
+    totals = benchmark.pedantic(compress_all, rounds=1, iterations=1)
+    print()
+    for name, bits in totals.items():
+        print(f"{name}: {bits / 8 / len(blocks):.1f} B/block average")
+    assert all(bits > 0 for bits in totals.values())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: compress a few blocks with E2MC and SLC and inspect the result.
+
+Shows the core flow of the library at the smallest scale:
+
+1. build some locally-correlated float data and cut it into 128 B blocks,
+2. train the E2MC entropy model (the lossless baseline),
+3. run the SLC mode decision on every block and look at how many blocks
+   switch to the lossy path, how many DRAM bursts that saves and what the
+   data looks like after decompression,
+4. print the simulated GPU configuration (Table II of the paper).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import E2MCCompressor
+from repro.compression.stats import bursts_for_size
+from repro.core import SLCCompressor, SLCConfig, SLCMode, SLCVariant
+from repro.gpu import GPUConfig
+from repro.utils.blocks import array_to_blocks
+
+
+def main() -> None:
+    rng = np.random.default_rng(2019)
+
+    # A smooth sensor-like signal with limited precision: the kind of data the
+    # paper's benchmarks read from GPU memory.
+    signal = np.cumsum(rng.normal(0.0, 0.3, size=16384)).astype(np.float64) + 500.0
+    signal = np.round(signal * 1024.0) / 1024.0
+    blocks = array_to_blocks(signal.astype(np.float32))
+    print(f"{len(blocks)} blocks of 128 B ({signal.nbytes / 1024:.0f} KiB of float32 data)\n")
+
+    # --- lossless baseline: E2MC ---------------------------------------- #
+    e2mc = E2MCCompressor()
+    e2mc.train(blocks[::4])
+    sizes = [e2mc.compress(block).compressed_size_bytes for block in blocks]
+    raw_ratio = 128 * len(blocks) / sum(sizes)
+    effective = sum(bursts_for_size(size) * 32 for size in sizes)
+    print("E2MC lossless baseline:")
+    print(f"  raw compression ratio       {raw_ratio:.2f}x")
+    print(f"  effective compression ratio {128 * len(blocks) / effective:.2f}x "
+          "(after rounding every block up to 32 B bursts)\n")
+
+    # --- SLC: selective lossy compression -------------------------------- #
+    config = SLCConfig(variant=SLCVariant.OPT, lossy_threshold_bytes=16)
+    slc = SLCCompressor(config)
+    slc.train(blocks[::4])
+
+    lossy = 0
+    slc_bursts = 0
+    e2mc_bursts = sum(bursts_for_size(size) for size in sizes)
+    max_error = 0.0
+    for block in blocks:
+        decision = slc.analyze(block, approximable=True)
+        slc_bursts += decision.bursts
+        if decision.mode is SLCMode.LOSSY:
+            lossy += 1
+            original = np.frombuffer(block, dtype=np.float32)
+            degraded = np.frombuffer(slc.apply_decision(block, decision), dtype=np.float32)
+            max_error = max(max_error, float(np.max(np.abs(original - degraded))))
+
+    print(f"SLC ({config.variant.value}, threshold {config.lossy_threshold_bytes} B, "
+          f"MAG {config.mag_bytes} B):")
+    print(f"  blocks switched to the lossy path  {lossy}/{len(blocks)}")
+    print(f"  DRAM bursts                        {slc_bursts} vs. {e2mc_bursts} for E2MC "
+          f"({(1 - slc_bursts / e2mc_bursts) * 100:.1f}% fewer)")
+    print(f"  largest per-value approximation    {max_error:.4f} "
+          f"(signal magnitude ≈ {np.abs(signal).mean():.0f})\n")
+
+    # --- one block in detail --------------------------------------------- #
+    for block in blocks:
+        decision = slc.analyze(block)
+        if decision.mode is SLCMode.LOSSY:
+            print("Example lossy block:")
+            print(f"  losslessly compressed size {decision.comp_size_bits / 8:.1f} B")
+            print(f"  bit budget                 {decision.bit_budget_bits // 8} B")
+            print(f"  extra bytes above budget   {decision.extra_bits / 8:.1f} B")
+            print(f"  truncated symbols          {decision.approx_count} "
+                  f"starting at symbol {decision.approx_start}")
+            print(f"  bursts fetched             {decision.bursts} instead of "
+                  f"{bursts_for_size(decision.comp_size_bits / 8)}\n")
+            break
+
+    # --- the simulated GPU (Table II) ------------------------------------ #
+    print("Simulated GPU configuration (Table II):")
+    for label, value in GPUConfig().table2_rows():
+        print(f"  {label:<22} {value}")
+
+
+if __name__ == "__main__":
+    main()

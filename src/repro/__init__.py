@@ -1,0 +1,63 @@
+"""SLC reproduction library.
+
+This package reproduces *SLC: Memory Access Granularity Aware Selective Lossy
+Compression for GPUs* (Lal, Lucas, Juurlink — DATE 2019).  It contains:
+
+* ``repro.compression`` — lossless block compressors (BDI, FPC, C-PACK, E2MC,
+  BPC) and raw/effective compression-ratio accounting.
+* ``repro.core`` — the paper's contribution: the MAG-aware selective lossy
+  compression (SLC) scheme with its tree-based symbol selector (TSLC), the
+  value-similarity predictor and the optimized tree (TSLC-OPT).
+* ``repro.gpu`` — a trace-driven GPU performance and energy model standing in
+  for GPGPU-Sim / GPUSimPow (caches, GDDR5 burst accounting, memory
+  controllers with integrated compression, timing and energy models).
+* ``repro.hardware`` — an analytic 32 nm hardware cost model for the SLC logic.
+* ``repro.workloads`` — NumPy re-implementations of the nine benchmarks used in
+  the paper's evaluation, including data generation and per-kernel error
+  metrics.
+* ``repro.metrics`` — error and performance metrics (MRE, NRMSE, image diff,
+  miss rate, speedup, bandwidth, energy, EDP).
+* ``repro.approx`` — the safe-to-approximate memory-region model (the paper's
+  extended ``cudaMalloc``).
+* ``repro.experiments`` — one module per paper table/figure that regenerates
+  the corresponding result.
+"""
+
+from repro._version import __version__
+from repro.compression import (
+    BDICompressor,
+    BPCCompressor,
+    CPackCompressor,
+    E2MCCompressor,
+    FPCCompressor,
+    available_compressors,
+    get_compressor,
+)
+from repro.core import (
+    SLCCompressor,
+    SLCConfig,
+    SLCMode,
+    SLCVariant,
+)
+from repro.gpu import GPUConfig, GPUSimulator, SimulationResult
+from repro.workloads import available_workloads, get_workload
+
+__all__ = [
+    "__version__",
+    "BDICompressor",
+    "FPCCompressor",
+    "CPackCompressor",
+    "E2MCCompressor",
+    "BPCCompressor",
+    "available_compressors",
+    "get_compressor",
+    "SLCCompressor",
+    "SLCConfig",
+    "SLCMode",
+    "SLCVariant",
+    "GPUConfig",
+    "GPUSimulator",
+    "SimulationResult",
+    "available_workloads",
+    "get_workload",
+]

@@ -1,0 +1,6 @@
+"""Safe-to-approximate memory-region model (the extended ``cudaMalloc``)."""
+
+from repro.approx.regions import ApproxAllocation, ApproxRegionRegistry
+from repro.approx.annotations import annotate_regions
+
+__all__ = ["ApproxAllocation", "ApproxRegionRegistry", "annotate_regions"]

@@ -1,0 +1,28 @@
+"""Bridging workload regions and the approximation registry."""
+
+from __future__ import annotations
+
+from repro.approx.regions import ApproxAllocation, ApproxRegionRegistry
+from repro.workloads.base import Region
+
+
+def annotate_regions(
+    regions: dict[str, Region],
+    threshold_bytes: int = 16,
+    registry: ApproxRegionRegistry | None = None,
+) -> ApproxRegionRegistry:
+    """Register a workload's regions with an :class:`ApproxRegionRegistry`.
+
+    Each region becomes one allocation via the extended ``cudaMalloc`` with
+    its ``approximable`` flag and the given lossy threshold, mirroring how a
+    programmer would annotate the benchmark (Section IV-C).
+    """
+    registry = registry or ApproxRegionRegistry(default_threshold_bytes=threshold_bytes)
+    for name, region in regions.items():
+        registry.malloc(
+            name=name,
+            size_bytes=max(1, region.size_bytes),
+            safe_to_approx=region.approximable,
+            threshold_bytes=threshold_bytes,
+        )
+    return registry

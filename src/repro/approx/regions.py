@@ -1,0 +1,124 @@
+"""The paper's programmer-facing approximation model (Section IV-C).
+
+Instead of annotating individual loads, the programmer marks whole memory
+allocations as safe to approximate through an extended ``cudaMalloc``::
+
+    cudaMalloc(void** devPtr, size_t size, bool safeToApprox, size_t threshold)
+
+The registry below models exactly that: allocations register an address
+range, the safety flag and the per-allocation lossy threshold; the memory
+controller consults the registry per block address to decide whether the
+lossy path may be used and with which threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ApproxAllocation:
+    """One device allocation made through the extended ``cudaMalloc``."""
+
+    name: str
+    base_address: int
+    size_bytes: int
+    safe_to_approx: bool = False
+    threshold_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if self.base_address < 0:
+            raise ValueError("base address must be non-negative")
+        if self.threshold_bytes < 0:
+            raise ValueError("threshold must be non-negative")
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte of the allocation."""
+        return self.base_address + self.size_bytes
+
+    def contains(self, byte_address: int) -> bool:
+        """Whether a byte address falls inside this allocation."""
+        return self.base_address <= byte_address < self.end_address
+
+
+class ApproxRegionRegistry:
+    """Tracks device allocations and answers per-address safety queries."""
+
+    def __init__(self, default_threshold_bytes: int = 16) -> None:
+        self.default_threshold_bytes = default_threshold_bytes
+        self._allocations: list[ApproxAllocation] = []
+        self._next_address = 0
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    def malloc(
+        self,
+        name: str,
+        size_bytes: int,
+        safe_to_approx: bool = False,
+        threshold_bytes: int | None = None,
+        alignment: int = 128,
+    ) -> ApproxAllocation:
+        """Allocate a region (the extended ``cudaMalloc``).
+
+        Returns the allocation record, whose ``base_address`` plays the role
+        of the device pointer.
+        """
+        if size_bytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if alignment <= 0:
+            raise ValueError("alignment must be positive")
+        base = -(-self._next_address // alignment) * alignment
+        allocation = ApproxAllocation(
+            name=name,
+            base_address=base,
+            size_bytes=size_bytes,
+            safe_to_approx=safe_to_approx,
+            threshold_bytes=(
+                self.default_threshold_bytes if threshold_bytes is None else threshold_bytes
+            ),
+        )
+        self._allocations.append(allocation)
+        self._next_address = base + size_bytes
+        return allocation
+
+    def free(self, allocation: ApproxAllocation) -> None:
+        """Release an allocation (addresses are not recycled)."""
+        self._allocations.remove(allocation)
+
+    def find(self, byte_address: int) -> ApproxAllocation | None:
+        """The allocation containing ``byte_address``, if any."""
+        for allocation in self._allocations:
+            if allocation.contains(byte_address):
+                return allocation
+        return None
+
+    def is_safe_to_approx(self, byte_address: int) -> bool:
+        """Whether a load from ``byte_address`` may use the lossy path.
+
+        Addresses outside every known allocation are never approximable —
+        approximating them could cause the catastrophic failures the paper
+        explicitly excludes (e.g. segmentation faults through corrupted
+        pointers).
+        """
+        allocation = self.find(byte_address)
+        return bool(allocation and allocation.safe_to_approx)
+
+    def threshold_for(self, byte_address: int) -> int:
+        """Lossy threshold (bytes) for the allocation containing the address."""
+        allocation = self.find(byte_address)
+        if allocation is None or not allocation.safe_to_approx:
+            return 0
+        return allocation.threshold_bytes
+
+    def approximable_count(self) -> int:
+        """Number of allocations marked safe to approximate (Table III #AR)."""
+        return sum(1 for a in self._allocations if a.safe_to_approx)
+
+    def allocations(self) -> list[ApproxAllocation]:
+        """All live allocations in allocation order."""
+        return list(self._allocations)

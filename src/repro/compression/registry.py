@@ -1,0 +1,48 @@
+"""Name-based registry of the lossless compressors.
+
+The experiment harness and the examples look compressors up by the short
+names used in the paper's figures ("bdi", "fpc", "cpack", "e2mc", "bpc").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compression.base import BlockCompressor
+from repro.compression.bdi import BDICompressor
+from repro.compression.bpc import BPCCompressor
+from repro.compression.cpack import CPackCompressor
+from repro.compression.e2mc import E2MCCompressor
+from repro.compression.fpc import FPCCompressor
+
+_REGISTRY: dict[str, Callable[..., BlockCompressor]] = {
+    "bdi": BDICompressor,
+    "fpc": FPCCompressor,
+    "cpack": CPackCompressor,
+    "e2mc": E2MCCompressor,
+    "bpc": BPCCompressor,
+}
+
+#: The four techniques compared quantitatively in Fig. 1 of the paper.
+FIG1_COMPRESSORS = ("bdi", "fpc", "cpack", "e2mc")
+
+
+def available_compressors() -> list[str]:
+    """Names of all registered lossless compressors."""
+    return sorted(_REGISTRY)
+
+
+def get_compressor(name: str, **kwargs) -> BlockCompressor:
+    """Instantiate a compressor by its short name.
+
+    Args:
+        name: one of :func:`available_compressors` (case-insensitive).
+        **kwargs: forwarded to the compressor constructor
+            (e.g. ``block_size_bytes``).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {', '.join(available_compressors())}"
+        )
+    return _REGISTRY[key](**kwargs)

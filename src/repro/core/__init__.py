@@ -1,0 +1,33 @@
+"""The paper's contribution: MAG-aware Selective Lossy Compression (SLC).
+
+SLC sits on top of the E2MC lossless compressor.  For every block it computes
+the losslessly compressed size, the MAG-aligned *bit budget* and the *extra
+bits* above that budget; when the extra bits are at most a user threshold (and
+the block belongs to a programmer-annotated safe-to-approximate region) a
+sub-block of symbols is truncated so the block fits the lower budget.  The
+sub-block is picked by a parallel adder tree over the per-symbol code lengths
+(TSLC); truncated symbols are reconstructed as zeros (TSLC-SIMP) or with a
+value-similarity predictor (TSLC-PRED); TSLC-OPT adds extra tree nodes at the
+middle levels to reduce over-approximation.
+"""
+
+from repro.core.config import SLCConfig, SLCMode, SLCVariant
+from repro.core.header import SLCHeader
+from repro.core.metadata_cache import MetadataCache
+from repro.core.prediction import predict_truncated_symbols
+from repro.core.slc import SLCBlock, SLCCompressor, SLCDecision
+from repro.core.tree import AdderTree, SubBlockSelection
+
+__all__ = [
+    "SLCConfig",
+    "SLCMode",
+    "SLCVariant",
+    "SLCHeader",
+    "MetadataCache",
+    "predict_truncated_symbols",
+    "SLCBlock",
+    "SLCCompressor",
+    "SLCDecision",
+    "AdderTree",
+    "SubBlockSelection",
+]

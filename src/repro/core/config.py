@@ -1,0 +1,163 @@
+"""Configuration objects and enumerations for SLC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SLCMode(Enum):
+    """How a particular block ended up being stored."""
+
+    #: stored losslessly compressed (E2MC codewords only)
+    LOSSLESS = "lossless"
+    #: a sub-block of symbols was truncated to fit the lower MAG multiple
+    LOSSY = "lossy"
+    #: the compressed size exceeded the original size; stored raw
+    UNCOMPRESSED = "uncompressed"
+
+
+class SLCVariant(Enum):
+    """The three TSLC variants evaluated in the paper (Section V)."""
+
+    #: truncate, reconstruct truncated symbols as zeros
+    SIMP = "tslc-simp"
+    #: truncate, reconstruct with the value-similarity predictor
+    PRED = "tslc-pred"
+    #: prediction + extra adder-tree nodes at the middle levels
+    OPT = "tslc-opt"
+
+
+#: Extra tree nodes added by TSLC-OPT: {tree level: number of extra nodes}.
+#: The paper adds 8 extra nodes at the level that originally has 16 nodes and
+#: 4 extra nodes at the level with 8 nodes (Section III-F).  With 64 symbols
+#: per block those are the 4-symbol and 8-symbol levels (levels 2 and 3 when
+#: level *l* aggregates 2**l symbols).
+DEFAULT_OPT_EXTRA_NODES = {2: 8, 3: 4}
+
+
+@dataclass(frozen=True)
+class SLCConfig:
+    """Parameters of the SLC scheme.
+
+    Attributes:
+        block_size_bytes: memory block size (128 B in current GPUs).
+        mag_bytes: memory access granularity (32 B for GDDR5/5X/6).
+        lossy_threshold_bytes: maximum number of extra bytes above a MAG
+            multiple that may be approximated away (the paper's default is
+            16 B, i.e. half a MAG).
+        variant: which TSLC variant to use.
+        symbol_bytes: E2MC symbol width (2 bytes in the paper).
+        element_bytes: width of one data element of the workload (4 bytes for
+            the float/int data of the benchmarks); the value-similarity
+            predictor is lane-aware over elements of this width.
+        max_approx_symbols: cap on the number of truncated symbols per block.
+            The paper observes a maximum of 16 (the header's 4-bit ``len``
+            field); blocks that would need more fall back to lossless mode.
+        num_pdw: number of E2MC parallel decoding ways (4 in the paper).
+        opt_extra_nodes: extra adder-tree nodes per level for TSLC-OPT.
+    """
+
+    block_size_bytes: int = 128
+    mag_bytes: int = 32
+    lossy_threshold_bytes: int = 16
+    variant: SLCVariant = SLCVariant.OPT
+    symbol_bytes: int = 2
+    element_bytes: int = 4
+    max_approx_symbols: int = 16
+    num_pdw: int = 4
+    opt_extra_nodes: dict = field(default_factory=lambda: dict(DEFAULT_OPT_EXTRA_NODES))
+
+    def __post_init__(self) -> None:
+        if self.block_size_bytes <= 0:
+            raise ValueError("block_size_bytes must be positive")
+        if self.mag_bytes <= 0 or self.block_size_bytes % self.mag_bytes:
+            raise ValueError(
+                f"MAG ({self.mag_bytes} B) must divide the block size "
+                f"({self.block_size_bytes} B)"
+            )
+        if not 0 <= self.lossy_threshold_bytes <= self.mag_bytes:
+            raise ValueError(
+                "lossy_threshold_bytes must lie between 0 and one MAG "
+                f"({self.mag_bytes} B), got {self.lossy_threshold_bytes}"
+            )
+        if self.block_size_bytes % self.symbol_bytes:
+            raise ValueError("symbol_bytes must divide block_size_bytes")
+        if self.element_bytes % self.symbol_bytes:
+            raise ValueError("symbol_bytes must divide element_bytes")
+        if self.max_approx_symbols <= 0:
+            raise ValueError("max_approx_symbols must be positive")
+
+    @property
+    def block_size_bits(self) -> int:
+        """Block size in bits."""
+        return self.block_size_bytes * 8
+
+    @property
+    def mag_bits(self) -> int:
+        """MAG in bits."""
+        return self.mag_bytes * 8
+
+    @property
+    def lossy_threshold_bits(self) -> int:
+        """Lossy threshold in bits."""
+        return self.lossy_threshold_bytes * 8
+
+    @property
+    def symbols_per_block(self) -> int:
+        """Number of symbols in one block."""
+        return self.block_size_bytes // self.symbol_bytes
+
+    @property
+    def element_symbols(self) -> int:
+        """Symbols per data element (2 for 32-bit elements, 16-bit symbols)."""
+        return self.element_bytes // self.symbol_bytes
+
+    @property
+    def max_bursts(self) -> int:
+        """Bursts needed for an uncompressed block (4 for 128 B / 32 B MAG)."""
+        return self.block_size_bytes // self.mag_bytes
+
+    @property
+    def uses_prediction(self) -> bool:
+        """Whether truncated symbols are reconstructed by the predictor."""
+        return self.variant in (SLCVariant.PRED, SLCVariant.OPT)
+
+    @property
+    def uses_optimized_tree(self) -> bool:
+        """Whether the adder tree carries the extra middle-level nodes."""
+        return self.variant is SLCVariant.OPT
+
+    def with_variant(self, variant: SLCVariant) -> "SLCConfig":
+        """Return a copy of this config with a different TSLC variant."""
+        return SLCConfig(
+            block_size_bytes=self.block_size_bytes,
+            mag_bytes=self.mag_bytes,
+            lossy_threshold_bytes=self.lossy_threshold_bytes,
+            variant=variant,
+            symbol_bytes=self.symbol_bytes,
+            element_bytes=self.element_bytes,
+            max_approx_symbols=self.max_approx_symbols,
+            num_pdw=self.num_pdw,
+            opt_extra_nodes=dict(self.opt_extra_nodes),
+        )
+
+    def with_mag(self, mag_bytes: int, lossy_threshold_bytes: int | None = None) -> "SLCConfig":
+        """Return a copy with a different MAG (and threshold, default MAG/2).
+
+        The paper's MAG-sensitivity study (Fig. 9) sets the lossy threshold to
+        half the MAG, because a fixed threshold is not meaningful across MAGs.
+        """
+        if lossy_threshold_bytes is None:
+            lossy_threshold_bytes = mag_bytes // 2
+        return SLCConfig(
+            block_size_bytes=self.block_size_bytes,
+            mag_bytes=mag_bytes,
+            lossy_threshold_bytes=lossy_threshold_bytes,
+            variant=self.variant,
+            symbol_bytes=self.symbol_bytes,
+            element_bytes=self.element_bytes,
+            max_approx_symbols=self.max_approx_symbols,
+            num_pdw=self.num_pdw,
+            opt_extra_nodes=dict(self.opt_extra_nodes),
+        )

@@ -1,0 +1,123 @@
+"""Structure of a compressed block's header (Fig. 6 of the paper).
+
+The header consists of a 1-bit compression mode flag (lossless / lossy), a
+6-bit index of the first approximated symbol, a 4-bit count of approximated
+symbols and ``num_pdw - 1`` parallel decoding pointers of N bits each, where
+``2**N`` is the block size in bytes.  Uncompressed blocks carry no header (as
+in the E2MC baseline); losslessly compressed blocks do not need the ``ss`` and
+``len`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitstream import BitReader, BitWriter
+
+_MODE_BITS = 1
+_START_SYMBOL_BITS = 6
+_LENGTH_BITS = 4
+
+
+def pdp_pointer_bits(block_size_bytes: int) -> int:
+    """Width of one parallel decoding pointer (N bits with 2**N = block bytes)."""
+    if block_size_bytes <= 0:
+        raise ValueError("block size must be positive")
+    return max(1, (block_size_bytes - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class SLCHeader:
+    """Decoded header of a compressed block.
+
+    Attributes:
+        lossy: the ``m`` bit — whether the block was stored with truncated
+            symbols.
+        approx_start: index of the first approximated symbol (``ss``).
+        approx_count: number of approximated symbols (``len``); the paper
+            observes at most 16, hence 4 bits storing ``count - 1``.
+        pdp: parallel decoding pointers (bit offsets of the other decoding
+            ways within the compressed payload).
+        block_size_bytes: block geometry, needed to size the pointers.
+        num_pdw: number of parallel decoding ways.
+    """
+
+    lossy: bool
+    approx_start: int = 0
+    approx_count: int = 0
+    pdp: tuple[int, ...] = ()
+    block_size_bytes: int = 128
+    num_pdw: int = 4
+
+    def __post_init__(self) -> None:
+        max_symbols = 1 << _START_SYMBOL_BITS
+        if not 0 <= self.approx_start < max_symbols:
+            raise ValueError(
+                f"approx_start must fit in {_START_SYMBOL_BITS} bits, got {self.approx_start}"
+            )
+        if self.lossy and not 1 <= self.approx_count <= (1 << _LENGTH_BITS):
+            raise ValueError(
+                f"a lossy block must approximate 1..{1 << _LENGTH_BITS} symbols, "
+                f"got {self.approx_count}"
+            )
+        if not self.lossy and self.approx_count:
+            raise ValueError("a lossless block cannot have approximated symbols")
+        if len(self.pdp) > self.num_pdw - 1:
+            raise ValueError(
+                f"at most {self.num_pdw - 1} decoding pointers allowed, got {len(self.pdp)}"
+            )
+
+    @property
+    def size_bits(self) -> int:
+        """Size of this header in bits."""
+        return header_size_bits(self.lossy, self.block_size_bytes, self.num_pdw)
+
+    def pack(self) -> bytes:
+        """Serialize the header to bytes (MSB-first bit packing)."""
+        writer = BitWriter()
+        writer.write(1 if self.lossy else 0, _MODE_BITS)
+        if self.lossy:
+            writer.write(self.approx_start, _START_SYMBOL_BITS)
+            writer.write(self.approx_count - 1, _LENGTH_BITS)
+        pointer_bits = pdp_pointer_bits(self.block_size_bytes)
+        pointers = list(self.pdp) + [0] * (self.num_pdw - 1 - len(self.pdp))
+        for pointer in pointers:
+            writer.write(pointer, pointer_bits)
+        return writer.getvalue()
+
+    @classmethod
+    def unpack(
+        cls,
+        data: bytes,
+        block_size_bytes: int = 128,
+        num_pdw: int = 4,
+    ) -> "SLCHeader":
+        """Parse a header previously produced by :meth:`pack`."""
+        reader = BitReader(data)
+        lossy = bool(reader.read(_MODE_BITS))
+        approx_start = 0
+        approx_count = 0
+        if lossy:
+            approx_start = reader.read(_START_SYMBOL_BITS)
+            approx_count = reader.read(_LENGTH_BITS) + 1
+        pointer_bits = pdp_pointer_bits(block_size_bytes)
+        pdp = tuple(reader.read(pointer_bits) for _ in range(num_pdw - 1))
+        return cls(
+            lossy=lossy,
+            approx_start=approx_start,
+            approx_count=approx_count,
+            pdp=pdp,
+            block_size_bytes=block_size_bytes,
+            num_pdw=num_pdw,
+        )
+
+
+def header_size_bits(
+    lossy: bool, block_size_bytes: int = 128, num_pdw: int = 4
+) -> int:
+    """Header size in bits for a compressed block (lossless or lossy)."""
+    pointer_bits = pdp_pointer_bits(block_size_bytes)
+    bits = _MODE_BITS + (num_pdw - 1) * pointer_bits
+    if lossy:
+        bits += _START_SYMBOL_BITS + _LENGTH_BITS
+    return bits

@@ -1,0 +1,113 @@
+"""Value-similarity based prediction of truncated symbols (Section III-E).
+
+TSLC truncates the selected symbols during compression; during decompression
+TSLC-SIMP replaces them with zeros while TSLC-PRED / TSLC-OPT replace them
+with the value of the nearest non-truncated symbol, exploiting the high value
+similarity between adjacent GPU threads.  Only the index of the predictor
+symbol needs to be generated in hardware, which is why the paper calls the
+scheme "very simple" and essentially free.
+
+Interpretation note: the paper predicts with "the first non-truncated symbol
+of the block".  With 16-bit symbols over 32-bit data elements, adjacent
+*elements* are similar but the two halves of an element are not, so the
+predictor here is lane-aware: a truncated symbol is predicted by the nearest
+kept symbol at the same offset within a data element (the same prediction the
+adjacent-thread value similarity argument of the paper justifies, at the same
+negligible hardware cost).  Setting ``element_symbols=1`` recovers the
+literal single-predictor behaviour.
+"""
+
+from __future__ import annotations
+
+
+def predictor_symbol_index(
+    target_index: int,
+    approx_start: int,
+    approx_count: int,
+    n_symbols: int,
+    element_symbols: int = 2,
+) -> int | None:
+    """Index of the kept symbol that predicts truncated symbol ``target_index``.
+
+    Prefers the nearest preceding kept symbol at the same within-element
+    offset, then the nearest following one; returns ``None`` when every
+    symbol of the block was truncated (cannot happen in practice because SLC
+    truncates at most a sub-block).
+    """
+    if element_symbols <= 0:
+        raise ValueError("element_symbols must be positive")
+    if approx_count >= n_symbols:
+        return None
+    approx_end = approx_start + approx_count
+    lane = target_index % element_symbols
+    candidate = approx_start - element_symbols + lane
+    while candidate >= 0:
+        if candidate < approx_start:
+            return candidate
+        candidate -= element_symbols
+    candidate = approx_end + lane
+    while candidate < n_symbols:
+        if candidate >= approx_end:
+            return candidate
+        candidate += element_symbols
+    # Fall back to any kept symbol (different lane) rather than giving up.
+    if approx_start > 0:
+        return approx_start - 1
+    if approx_end < n_symbols:
+        return approx_end
+    return None
+
+
+def predict_truncated_symbols(
+    kept_symbols: list[int],
+    approx_start: int,
+    approx_count: int,
+    n_symbols: int,
+    use_prediction: bool,
+    element_symbols: int = 2,
+) -> list[int]:
+    """Reconstruct the full symbol list from the kept symbols.
+
+    Args:
+        kept_symbols: the symbols that survived truncation, in block order.
+        approx_start: index of the first truncated symbol.
+        approx_count: number of truncated symbols.
+        n_symbols: total symbols per block.
+        use_prediction: ``True`` for TSLC-PRED/OPT (value-similarity
+            prediction), ``False`` for TSLC-SIMP (zero fill).
+        element_symbols: symbols per data element (2 for 32-bit elements and
+            16-bit symbols); used by the lane-aware predictor.
+
+    Returns:
+        The reconstructed list of ``n_symbols`` symbols.
+    """
+    if approx_count < 0 or approx_start < 0:
+        raise ValueError("approximation range must be non-negative")
+    if approx_start + approx_count > n_symbols:
+        raise ValueError(
+            f"approximated range [{approx_start}, {approx_start + approx_count}) "
+            f"exceeds block of {n_symbols} symbols"
+        )
+    if len(kept_symbols) != n_symbols - approx_count:
+        raise ValueError(
+            f"expected {n_symbols - approx_count} kept symbols, got {len(kept_symbols)}"
+        )
+
+    if approx_count == 0:
+        return list(kept_symbols)
+
+    # Rebuild the block with placeholders for the truncated run.
+    reconstructed: list[int | None] = list(kept_symbols[:approx_start])
+    reconstructed.extend([None] * approx_count)
+    reconstructed.extend(kept_symbols[approx_start:])
+
+    for offset in range(approx_count):
+        index = approx_start + offset
+        if not use_prediction or not kept_symbols:
+            reconstructed[index] = 0
+            continue
+        predictor = predictor_symbol_index(
+            index, approx_start, approx_count, n_symbols, element_symbols
+        )
+        reconstructed[index] = 0 if predictor is None else reconstructed[predictor]
+    return [0 if value is None else int(value) for value in reconstructed]

@@ -1,0 +1,184 @@
+"""The parallel adder tree of TSLC (Fig. 5 of the paper).
+
+The tree sums the per-symbol code lengths of a block level by level: level 1
+holds sums of symbol pairs, level 2 of groups of four, and so on up to the
+root, which holds the total compressed payload size.  When the lossy mode is
+chosen, the *extra bits* above the bit budget are compared in parallel with
+every intermediate sum; priority encoders pick, per level, the first sub-block
+whose sum is at least the extra bits, and the lowest such level wins because
+it approximates the fewest symbols.
+
+TSLC-OPT (Section III-F) adds a few extra nodes at the middle levels; here
+they are modelled as additional *staggered* windows of the same size, offset
+by half a sub-block, which gives the finer selection granularity the paper
+describes while keeping the fixed-latency parallel structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One node of the adder tree: a window of symbols and its summed size."""
+
+    level: int
+    index: int
+    start_symbol: int
+    symbol_count: int
+    sum_bits: int
+    is_extra: bool = False
+
+
+@dataclass(frozen=True)
+class SubBlockSelection:
+    """The sub-block chosen for approximation."""
+
+    level: int
+    start_symbol: int
+    symbol_count: int
+    bits_removed: int
+    used_extra_node: bool = False
+
+
+class AdderTree:
+    """Parallel adder tree over per-symbol code lengths.
+
+    Args:
+        code_lengths: per-symbol code lengths in bits (one entry per symbol,
+            length must be a power of two — 64 for the paper's configuration).
+        extra_nodes: optional mapping ``{level: count}`` of additional
+            staggered nodes per level (the TSLC-OPT optimization).
+    """
+
+    def __init__(
+        self,
+        code_lengths: list[int],
+        extra_nodes: dict[int, int] | None = None,
+    ) -> None:
+        n = len(code_lengths)
+        if n == 0 or n & (n - 1):
+            raise ValueError(f"number of symbols must be a power of two, got {n}")
+        if any(length < 0 for length in code_lengths):
+            raise ValueError("code lengths must be non-negative")
+        self.code_lengths = list(code_lengths)
+        self.n_symbols = n
+        self.n_levels = n.bit_length() - 1
+        self._levels = self._build_levels()
+        self._extra = self._build_extra_nodes(extra_nodes or {})
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def _build_levels(self) -> list[list[int]]:
+        """Level ``l`` (1-based) holds sums over windows of ``2**l`` symbols."""
+        levels: list[list[int]] = [list(self.code_lengths)]
+        current = self.code_lengths
+        while len(current) > 1:
+            current = [current[i] + current[i + 1] for i in range(0, len(current), 2)]
+            levels.append(list(current))
+        return levels
+
+    def _build_extra_nodes(self, extra_nodes: dict[int, int]) -> dict[int, list[TreeNode]]:
+        extras: dict[int, list[TreeNode]] = {}
+        for level, count in extra_nodes.items():
+            if not 1 <= level <= self.n_levels:
+                raise ValueError(
+                    f"extra-node level {level} outside valid range 1..{self.n_levels}"
+                )
+            if count <= 0:
+                continue
+            window = 1 << level
+            offset = window // 2
+            max_start = self.n_symbols - window
+            if max_start < offset:
+                continue
+            stride = max(window, (max_start - offset) // count + 1)
+            nodes = []
+            start = offset
+            index = 0
+            while start <= max_start and len(nodes) < count:
+                sum_bits = sum(self.code_lengths[start:start + window])
+                nodes.append(
+                    TreeNode(
+                        level=level,
+                        index=index,
+                        start_symbol=start,
+                        symbol_count=window,
+                        sum_bits=sum_bits,
+                        is_extra=True,
+                    )
+                )
+                start += stride
+                index += 1
+            extras[level] = nodes
+        return extras
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    @property
+    def comp_size_bits(self) -> int:
+        """Total compressed payload size (the root of the tree)."""
+        return self._levels[-1][0]
+
+    def level_sums(self, level: int) -> list[int]:
+        """Aligned window sums at ``level`` (1-based; level ``l`` = ``2**l`` symbols)."""
+        if not 1 <= level <= self.n_levels:
+            raise ValueError(f"level must be in 1..{self.n_levels}, got {level}")
+        return list(self._levels[level])
+
+    def nodes_at_level(self, level: int) -> list[TreeNode]:
+        """All nodes (aligned plus any extra staggered ones) at ``level``."""
+        window = 1 << level
+        nodes = [
+            TreeNode(
+                level=level,
+                index=index,
+                start_symbol=index * window,
+                symbol_count=window,
+                sum_bits=sum_bits,
+            )
+            for index, sum_bits in enumerate(self._levels[level])
+        ]
+        nodes.extend(self._extra.get(level, []))
+        nodes.sort(key=lambda node: node.start_symbol)
+        return nodes
+
+    def extra_node_count(self, level: int) -> int:
+        """Number of TSLC-OPT extra nodes instantiated at ``level``."""
+        return len(self._extra.get(level, []))
+
+    def select_subblock(
+        self,
+        required_bits: int,
+        max_symbols: int | None = None,
+    ) -> SubBlockSelection | None:
+        """Pick the sub-block to truncate.
+
+        Scans levels from the lowest upwards (fewest symbols first); within a
+        level the first window (priority encoder) whose sum is at least
+        ``required_bits`` wins.  Returns ``None`` if no window of at most
+        ``max_symbols`` symbols can cover the required bits.
+        """
+        if required_bits <= 0:
+            raise ValueError(f"required_bits must be positive, got {required_bits}")
+        for level in range(1, self.n_levels + 1):
+            window = 1 << level
+            if max_symbols is not None and window > max_symbols:
+                return None
+            for node in self.nodes_at_level(level):
+                if node.sum_bits >= required_bits:
+                    return SubBlockSelection(
+                        level=level,
+                        start_symbol=node.start_symbol,
+                        symbol_count=node.symbol_count,
+                        bits_removed=node.sum_bits,
+                        used_extra_node=node.is_extra,
+                    )
+        return None
+
+    def overshoot_bits(self, selection: SubBlockSelection, required_bits: int) -> int:
+        """Bits approximated beyond what was strictly needed (Section III-F)."""
+        return max(0, selection.bits_removed - required_bits)

@@ -1,0 +1,57 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes a ``run_*`` function returning plain data structures
+and a ``format_*`` function rendering them as the text table/series the paper
+plots, so the benchmarks under ``benchmarks/`` and the examples under
+``examples/`` can regenerate each artefact.
+"""
+
+from repro.experiments.fig1_compression_ratio import (
+    Fig1Row,
+    format_fig1,
+    run_fig1,
+)
+from repro.experiments.fig2_distribution import (
+    Fig2Distribution,
+    format_fig2,
+    run_fig2,
+)
+from repro.experiments.fig7_speedup_error import (
+    Fig7Row,
+    format_fig7,
+    run_fig7,
+)
+from repro.experiments.fig8_bandwidth_energy import (
+    Fig8Row,
+    format_fig8,
+    run_fig8,
+)
+from repro.experiments.fig9_mag_sensitivity import (
+    Fig9Row,
+    format_fig9,
+    run_fig9,
+)
+from repro.experiments.runner import SLCStudy, run_slc_study
+from repro.experiments.table1_hardware import format_table1, run_table1
+
+__all__ = [
+    "run_fig1",
+    "format_fig1",
+    "Fig1Row",
+    "run_fig2",
+    "format_fig2",
+    "Fig2Distribution",
+    "run_table1",
+    "format_table1",
+    "run_fig7",
+    "format_fig7",
+    "Fig7Row",
+    "run_fig8",
+    "format_fig8",
+    "Fig8Row",
+    "run_fig9",
+    "format_fig9",
+    "Fig9Row",
+    "run_slc_study",
+    "SLCStudy",
+]

@@ -1,0 +1,92 @@
+"""Fig. 7 — speedup and application error of the TSLC variants vs. E2MC.
+
+TSLC-SIMP, TSLC-PRED and TSLC-OPT are simulated with a 16 B lossy threshold
+and 32 B MAG; speedups are normalized to the E2MC lossless baseline and the
+error uses each benchmark's Table III metric.  Paper shape: 5–17 % speedup
+per benchmark (≈ 9–10 % geometric mean), with errors well below 10 % and the
+prediction-based variants much more accurate than plain truncation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SLCVariant
+from repro.experiments.runner import (
+    BASELINE_LABEL,
+    VARIANT_LABELS,
+    SLCStudy,
+    run_slc_study,
+)
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """Speedup/error of one (benchmark, TSLC variant) pair."""
+
+    workload: str
+    scheme: str
+    speedup: float
+    error_percent: float
+
+
+def run_fig7(
+    workload_names: list[str] | None = None,
+    lossy_threshold_bytes: int = 16,
+    scale: float | None = None,
+    seed: int = 2019,
+    config: GPUConfig | None = None,
+    study: SLCStudy | None = None,
+) -> tuple[list[Fig7Row], SLCStudy]:
+    """Regenerate Fig. 7.
+
+    Returns the per-benchmark rows (plus GM rows for the speedup) and the
+    underlying :class:`SLCStudy`, which Fig. 8 reuses to avoid re-simulating.
+    """
+    if study is None:
+        study = run_slc_study(
+            workload_names=workload_names,
+            variants=[SLCVariant.SIMP, SLCVariant.PRED, SLCVariant.OPT],
+            lossy_threshold_bytes=lossy_threshold_bytes,
+            scale=scale,
+            seed=seed,
+            config=config,
+        )
+    rows: list[Fig7Row] = []
+    schemes = [s for s in study.schemes() if s != study.baseline_label]
+    for workload in study.workloads():
+        for scheme in schemes:
+            rows.append(
+                Fig7Row(
+                    workload=workload,
+                    scheme=scheme,
+                    speedup=study.speedup(workload, scheme),
+                    error_percent=study.error_percent(workload, scheme),
+                )
+            )
+    for scheme in schemes:
+        rows.append(
+            Fig7Row(
+                workload="GM",
+                scheme=scheme,
+                speedup=study.geomean("speedup", scheme),
+                error_percent=float("nan"),
+            )
+        )
+    return rows, study
+
+
+def format_fig7(rows: list[Fig7Row]) -> str:
+    """Render the Fig. 7 data as a text table."""
+    lines = [
+        "Fig. 7 — speedup and error of TSLC vs. E2MC "
+        f"(baseline = {BASELINE_LABEL}, threshold 16 B, MAG 32 B)",
+        f"{'benchmark':<9} {'scheme':<10} {'speedup':>8} {'error %':>9}",
+    ]
+    for row in rows:
+        error = "-" if row.error_percent != row.error_percent else f"{row.error_percent:.4f}"
+        lines.append(
+            f"{row.workload:<9} {row.scheme:<10} {row.speedup:>8.3f} {error:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Shared machinery for the evaluation experiments (Figs. 7–9).
+
+The central object is :class:`SLCStudy`: for every benchmark it simulates the
+E2MC lossless baseline and the requested TSLC variants on the same workload
+data and exposes the normalized metrics of the paper's figures (speedup,
+application error, bandwidth, energy, EDP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.e2mc import E2MCCompressor
+from repro.compression.stats import geometric_mean
+from repro.core.config import SLCConfig, SLCVariant
+from repro.core.slc import SLCCompressor
+from repro.gpu.backends import CompressionBackend, LosslessBackend, SLCBackend
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import GPUSimulator, SimulationResult
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER, get_workload
+
+#: backend label used for the lossless baseline in every study
+BASELINE_LABEL = "E2MC"
+
+#: the three TSLC variants of Fig. 7/8, in plotting order
+VARIANT_LABELS = {
+    SLCVariant.SIMP: "TSLC-SIMP",
+    SLCVariant.PRED: "TSLC-PRED",
+    SLCVariant.OPT: "TSLC-OPT",
+}
+
+
+def make_e2mc_backend(config: GPUConfig, mag_bytes: int | None = None) -> LosslessBackend:
+    """The E2MC lossless baseline backend (46/20-cycle latencies)."""
+    compressor = E2MCCompressor(
+        block_size_bytes=config.block_size_bytes,
+        symbol_bytes=2,
+        num_pdw=4,
+    )
+    latency = config.latency
+    return LosslessBackend(
+        compressor,
+        mag_bytes=mag_bytes if mag_bytes is not None else config.mag_bytes,
+        compress_cycles=latency.e2mc_compress_cycles,
+        decompress_cycles=latency.e2mc_decompress_cycles,
+    )
+
+
+def make_slc_backend(
+    config: GPUConfig,
+    variant: SLCVariant,
+    lossy_threshold_bytes: int = 16,
+    mag_bytes: int | None = None,
+) -> SLCBackend:
+    """A TSLC backend of the given variant/threshold/MAG (60/20-cycle latencies)."""
+    mag = mag_bytes if mag_bytes is not None else config.mag_bytes
+    slc_config = SLCConfig(
+        block_size_bytes=config.block_size_bytes,
+        mag_bytes=mag,
+        lossy_threshold_bytes=lossy_threshold_bytes,
+        variant=variant,
+    )
+    latency = config.latency
+    return SLCBackend(
+        SLCCompressor(slc_config),
+        compress_cycles=latency.tslc_compress_cycles,
+        decompress_cycles=latency.tslc_decompress_cycles,
+    )
+
+
+@dataclass
+class SLCStudy:
+    """Results of simulating all benchmarks under the baseline and variants.
+
+    ``results[workload][scheme]`` holds the :class:`SimulationResult` of one
+    (workload, scheme) pair; ``scheme`` is :data:`BASELINE_LABEL` or one of
+    the variant labels.
+    """
+
+    baseline_label: str = BASELINE_LABEL
+    results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def workloads(self) -> list[str]:
+        """Benchmarks in the order they were simulated."""
+        return list(self.results)
+
+    def schemes(self) -> list[str]:
+        """Scheme labels present for the first workload (baseline first)."""
+        if not self.results:
+            return []
+        first = next(iter(self.results.values()))
+        return list(first)
+
+    # ------------------------------------------------------------------ #
+    # normalized metrics (the y-axes of Figs. 7–9)
+
+    def speedup(self, workload: str, scheme: str) -> float:
+        """Execution-time speedup of ``scheme`` over the baseline."""
+        baseline = self.results[workload][self.baseline_label]
+        return self.results[workload][scheme].speedup_over(baseline)
+
+    def error_percent(self, workload: str, scheme: str) -> float:
+        """Application error of ``scheme`` in percent."""
+        return self.results[workload][scheme].error_percent
+
+    def normalized_bandwidth(self, workload: str, scheme: str) -> float:
+        """Off-chip traffic normalized to the baseline (lower is better)."""
+        baseline = self.results[workload][self.baseline_label]
+        return self.results[workload][scheme].bandwidth_ratio_over(baseline)
+
+    def normalized_energy(self, workload: str, scheme: str) -> float:
+        """Energy normalized to the baseline (lower is better)."""
+        baseline = self.results[workload][self.baseline_label]
+        return self.results[workload][scheme].energy_ratio_over(baseline)
+
+    def normalized_edp(self, workload: str, scheme: str) -> float:
+        """EDP normalized to the baseline (lower is better)."""
+        baseline = self.results[workload][self.baseline_label]
+        return self.results[workload][scheme].edp_ratio_over(baseline)
+
+    def geomean(self, metric: str, scheme: str) -> float:
+        """Geometric mean of a normalized metric over all benchmarks."""
+        getter = {
+            "speedup": self.speedup,
+            "bandwidth": self.normalized_bandwidth,
+            "energy": self.normalized_energy,
+            "edp": self.normalized_edp,
+        }[metric]
+        return geometric_mean([getter(w, scheme) for w in self.workloads()])
+
+
+def run_slc_study(
+    workload_names: list[str] | None = None,
+    variants: list[SLCVariant] | None = None,
+    lossy_threshold_bytes: int = 16,
+    mag_bytes: int | None = None,
+    scale: float | None = None,
+    seed: int = 2019,
+    config: GPUConfig | None = None,
+    compute_error: bool = True,
+) -> SLCStudy:
+    """Simulate every benchmark under E2MC and the requested TSLC variants.
+
+    Args:
+        workload_names: benchmarks to include (default: all nine, paper order).
+        variants: TSLC variants to simulate (default: SIMP, PRED, OPT).
+        lossy_threshold_bytes: the SLC lossy threshold (16 B in Fig. 7/8).
+        mag_bytes: memory access granularity (default: the GPU config's 32 B).
+        scale: workload input scale (default: each workload's default).
+        seed: RNG seed for data generation.
+        config: GPU configuration (Table II defaults).
+        compute_error: whether to re-run kernels on degraded inputs to obtain
+            the application error (disable for timing-only studies).
+    """
+    workload_names = list(workload_names or PAPER_WORKLOAD_ORDER)
+    variants = list(variants or [SLCVariant.SIMP, SLCVariant.PRED, SLCVariant.OPT])
+    config = config or GPUConfig()
+    simulator = GPUSimulator(config=config)
+    study = SLCStudy()
+
+    for name in workload_names:
+        kwargs = {"seed": seed}
+        if scale is not None:
+            kwargs["scale"] = scale
+        per_scheme: dict[str, SimulationResult] = {}
+
+        baseline_backend = make_e2mc_backend(config, mag_bytes=mag_bytes)
+        workload = get_workload(name, **kwargs)
+        per_scheme[BASELINE_LABEL] = simulator.run(
+            workload, baseline_backend, compute_error=False
+        )
+
+        for variant in variants:
+            backend = make_slc_backend(
+                config,
+                variant,
+                lossy_threshold_bytes=lossy_threshold_bytes,
+                mag_bytes=mag_bytes,
+            )
+            workload = get_workload(name, **kwargs)
+            per_scheme[VARIANT_LABELS[variant]] = simulator.run(
+                workload, backend, compute_error=compute_error
+            )
+        study.results[name] = per_scheme
+    return study

@@ -1,0 +1,173 @@
+"""Compression backends pluggable into the memory controller.
+
+The memory controller does not care whether blocks are stored raw, losslessly
+compressed or selectively-lossily compressed; it only needs, per block, the
+number of MAG bursts to fetch, the bits actually stored and the data that a
+subsequent read returns.  A :class:`CompressionBackend` provides exactly that
+for three families:
+
+* :class:`NoCompressionBackend` — the uncompressed baseline,
+* :class:`LosslessBackend` — any :class:`~repro.compression.base.BlockCompressor`
+  (BDI, FPC, C-PACK, E2MC, BPC) with MAG-aware burst accounting,
+* :class:`SLCBackend` — the paper's selective lossy compression.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.compression.base import BlockCompressor
+from repro.compression.stats import bursts_for_size
+from repro.core.config import SLCMode
+from repro.core.slc import SLCCompressor
+
+
+@dataclass(frozen=True)
+class StoredBlock:
+    """What the memory controller records about one stored block."""
+
+    #: MAG bursts needed to read the block back
+    bursts: int
+    #: bits actually stored (compressed payload + header)
+    stored_bits: int
+    #: the data a read of this block returns (may be degraded for lossy blocks)
+    data: bytes
+    #: whether symbols were approximated
+    lossy: bool = False
+
+
+class CompressionBackend(ABC):
+    """Interface between the memory controller and a compression scheme."""
+
+    name: str = "abstract"
+
+    def __init__(self, block_size_bytes: int = 128, mag_bytes: int = 32) -> None:
+        self.block_size_bytes = block_size_bytes
+        self.mag_bytes = mag_bytes
+
+    @property
+    def max_bursts(self) -> int:
+        """Bursts for an uncompressed block."""
+        return self.block_size_bytes // self.mag_bytes
+
+    def train(self, blocks: list[bytes]) -> None:  # noqa: B027 - optional hook
+        """Adapt any probability model to sample data (E2MC / SLC only)."""
+
+    @abstractmethod
+    def store(self, block: bytes, approximable: bool = True) -> StoredBlock:
+        """Decide how a block is stored and what a read of it returns."""
+
+    @property
+    def compress_latency_cycles(self) -> int:
+        """Compression latency in memory-controller cycles."""
+        return 0
+
+    @property
+    def decompress_latency_cycles(self) -> int:
+        """Decompression latency in memory-controller cycles."""
+        return 0
+
+
+class NoCompressionBackend(CompressionBackend):
+    """Baseline: every block is stored raw and costs the full burst count."""
+
+    name = "uncompressed"
+
+    def store(self, block: bytes, approximable: bool = True) -> StoredBlock:
+        return StoredBlock(
+            bursts=self.max_bursts,
+            stored_bits=self.block_size_bytes * 8,
+            data=bytes(block),
+            lossy=False,
+        )
+
+
+class LosslessBackend(CompressionBackend):
+    """MAG-aware storage through any lossless block compressor."""
+
+    def __init__(
+        self,
+        compressor: BlockCompressor,
+        mag_bytes: int = 32,
+        compress_cycles: int = 46,
+        decompress_cycles: int = 20,
+    ) -> None:
+        super().__init__(compressor.block_size_bytes, mag_bytes)
+        self.compressor = compressor
+        self.name = compressor.name
+        self._compress_cycles = compress_cycles
+        self._decompress_cycles = decompress_cycles
+
+    def train(self, blocks: list[bytes]) -> None:
+        self.compressor.train(blocks)
+
+    def store(self, block: bytes, approximable: bool = True) -> StoredBlock:
+        compressed = self.compressor.compress(block)
+        stored_bytes = min(compressed.compressed_size_bytes, self.block_size_bytes)
+        bursts = min(self.max_bursts, bursts_for_size(stored_bytes, self.mag_bytes))
+        return StoredBlock(
+            bursts=bursts,
+            stored_bits=compressed.compressed_size_bits,
+            data=bytes(block),
+            lossy=False,
+        )
+
+    @property
+    def compress_latency_cycles(self) -> int:
+        return self._compress_cycles
+
+    @property
+    def decompress_latency_cycles(self) -> int:
+        return self._decompress_cycles
+
+
+class SLCBackend(CompressionBackend):
+    """Selective lossy compression (the paper's contribution)."""
+
+    def __init__(
+        self,
+        slc: SLCCompressor,
+        compress_cycles: int = 60,
+        decompress_cycles: int = 20,
+    ) -> None:
+        super().__init__(slc.config.block_size_bytes, slc.config.mag_bytes)
+        self.slc = slc
+        self.name = f"slc-{slc.config.variant.value}"
+        self._compress_cycles = compress_cycles
+        self._decompress_cycles = decompress_cycles
+        self.lossy_blocks = 0
+        self.total_blocks = 0
+        self.total_overshoot_bits = 0
+
+    def train(self, blocks: list[bytes]) -> None:
+        self.slc.train(blocks)
+
+    def store(self, block: bytes, approximable: bool = True) -> StoredBlock:
+        decision = self.slc.analyze(block, approximable=approximable)
+        data = self.slc.apply_decision(block, decision)
+        self.total_blocks += 1
+        if decision.mode is SLCMode.LOSSY:
+            self.lossy_blocks += 1
+            self.total_overshoot_bits += decision.overshoot_bits
+        return StoredBlock(
+            bursts=decision.bursts,
+            stored_bits=decision.stored_size_bits,
+            data=data,
+            lossy=decision.is_lossy,
+        )
+
+    @property
+    def lossy_fraction(self) -> float:
+        """Fraction of stored blocks that took the lossy path."""
+        if not self.total_blocks:
+            return 0.0
+        return self.lossy_blocks / self.total_blocks
+
+    @property
+    def compress_latency_cycles(self) -> int:
+        return self._compress_cycles
+
+    @property
+    def decompress_latency_cycles(self) -> int:
+        return self._decompress_cycles

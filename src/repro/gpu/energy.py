@@ -1,0 +1,118 @@
+"""GPU energy model (the GPUSimPow stand-in).
+
+Energy is assembled from the same counters the timing model produces:
+
+* a constant-power component (chip static power plus the roughly
+  execution-time-proportional dynamic power of the SMs, schedulers, and
+  on-chip network),
+* per-operation compute energy,
+* per-access L2 energy,
+* per-bit DRAM transfer energy plus per-activation row energy,
+* per-block (de)compression energy taken from the RTL-calibrated hardware
+  cost model (Table I) — negligible, as the paper reports.
+
+The absolute numbers are textbook 40 nm-class estimates, not measurements;
+what the reproduction relies on is that execution time and DRAM traffic
+dominate, so the *relative* energy and EDP changes of SLC versus E2MC carry
+over (Fig. 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Technology/board constants used by the energy model."""
+
+    #: chip constant power while a kernel runs (static + clocks + fans) [W]
+    constant_power_w: float = 80.0
+    #: per scalar operation energy in the SMs [J]
+    energy_per_op_j: float = 12e-12
+    #: per L2 access energy [J]
+    energy_per_l2_access_j: float = 1.2e-9
+    #: DRAM transfer energy per bit [J]
+    dram_energy_per_bit_j: float = 18e-12
+    #: DRAM row activation energy per row miss [J]
+    dram_row_activate_j: float = 2.5e-9
+    #: compressor energy per compressed block [J] (from Table I power/freq)
+    compressor_energy_per_block_j: float = 70e-12
+    #: decompressor energy per decompressed block [J]
+    decompressor_energy_per_block_j: float = 8e-12
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component energy for one simulation."""
+
+    constant_j: float
+    compute_j: float
+    l2_j: float
+    dram_j: float
+    compression_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total energy in joules."""
+        return (
+            self.constant_j
+            + self.compute_j
+            + self.l2_j
+            + self.dram_j
+            + self.compression_j
+        )
+
+    def edp(self, exec_time_s: float) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.total_j * exec_time_s
+
+    @property
+    def dram_fraction(self) -> float:
+        """Fraction of total energy spent in DRAM transfers."""
+        total = self.total_j
+        if total == 0:
+            return 0.0
+        return self.dram_j / total
+
+
+class EnergyModel:
+    """Computes :class:`EnergyBreakdown` from simulation counters."""
+
+    def __init__(self, params: EnergyParameters | None = None) -> None:
+        self.params = params or EnergyParameters()
+
+    def evaluate(
+        self,
+        exec_time_s: float,
+        compute_ops: float,
+        l2_accesses: int,
+        dram_bursts: int,
+        dram_row_misses: int,
+        compressed_blocks: int = 0,
+        decompressed_blocks: int = 0,
+        mag_bytes: int = 32,
+    ) -> EnergyBreakdown:
+        """Combine counters into a per-component energy breakdown."""
+        if exec_time_s < 0:
+            raise ValueError("execution time must be non-negative")
+        params = self.params
+        constant = params.constant_power_w * exec_time_s
+        compute = params.energy_per_op_j * compute_ops
+        l2 = params.energy_per_l2_access_j * l2_accesses
+        dram_bits = dram_bursts * mag_bytes * 8
+        dram = (
+            params.dram_energy_per_bit_j * dram_bits
+            + params.dram_row_activate_j * dram_row_misses
+        )
+        compression = (
+            params.compressor_energy_per_block_j * compressed_blocks
+            + params.decompressor_energy_per_block_j * decompressed_blocks
+        )
+        return EnergyBreakdown(
+            constant_j=constant,
+            compute_j=compute,
+            l2_j=l2,
+            dram_j=dram,
+            compression_j=compression,
+        )

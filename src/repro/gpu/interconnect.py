@@ -1,0 +1,52 @@
+"""Interconnection network between the SMs/L2 and the memory controllers.
+
+The paper's system (Fig. 3) places a crossbar between the compute subsystem
+and the memory partitions.  For a trace-driven model the interconnect matters
+as (a) a per-message latency contribution and (b) a bandwidth ceiling that is
+normally far above the DRAM bandwidth; both are modelled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InterconnectStats:
+    """Message and flit counters."""
+
+    messages: int = 0
+    flits: int = 0
+
+
+@dataclass
+class Interconnect:
+    """A simple crossbar: fixed latency, flit-based bandwidth accounting.
+
+    Args:
+        latency_cycles: one-way traversal latency in core cycles.
+        flit_bytes: flit width; a 128 B response occupies several flits.
+        bisection_bytes_per_cycle: aggregate bandwidth in bytes per core cycle.
+    """
+
+    latency_cycles: int = 12
+    flit_bytes: int = 32
+    bisection_bytes_per_cycle: float = 512.0
+    stats: InterconnectStats = field(default_factory=InterconnectStats)
+
+    def transfer(self, payload_bytes: int) -> int:
+        """Record a message and return its serialization cycles."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        flits = max(1, -(-payload_bytes // self.flit_bytes))
+        self.stats.messages += 1
+        self.stats.flits += flits
+        return flits
+
+    def occupancy_cycles(self) -> float:
+        """Total cycles the crossbar has been occupied by recorded traffic."""
+        return self.stats.flits * self.flit_bytes / self.bisection_bytes_per_cycle
+
+    def round_trip_latency(self) -> int:
+        """Request + response traversal latency in core cycles."""
+        return 2 * self.latency_cycles

@@ -1,0 +1,142 @@
+"""Memory controller with integrated (de)compressor and metadata cache.
+
+As in Fig. 3 of the paper, the compressor, decompressor and metadata cache
+(MDC) live in the memory controller.  Data travels to/from DRAM in compressed
+form; the controller fetches only the number of MAG bursts recorded for the
+block (falling back to the full block on an MDC miss) and decompresses on the
+way to the L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metadata_cache import MetadataCache
+from repro.gpu.backends import CompressionBackend, StoredBlock
+from repro.gpu.dram import DRAMChannel, GDDR5Timing
+
+
+@dataclass
+class MemoryControllerStats:
+    """Traffic counters for one memory controller."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bursts: int = 0
+    write_bursts: int = 0
+    lossy_blocks: int = 0
+    mdc_extra_bursts: int = 0
+    compress_invocations: int = 0
+    decompress_invocations: int = 0
+
+    @property
+    def total_bursts(self) -> int:
+        """Bursts moved in either direction."""
+        return self.read_bursts + self.write_bursts
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Bytes moved over the DRAM bus (bursts × 32 B)."""
+        return self.total_bursts * 32
+
+
+class MemoryController:
+    """One memory partition: compression backend + MDC + GDDR5 channel."""
+
+    def __init__(
+        self,
+        controller_id: int,
+        backend: CompressionBackend,
+        mag_bytes: int = 32,
+        block_size_bytes: int = 128,
+        mdc_entries: int = 8192,
+        timing: GDDR5Timing | None = None,
+    ) -> None:
+        self.controller_id = controller_id
+        self.backend = backend
+        self.mag_bytes = mag_bytes
+        self.block_size_bytes = block_size_bytes
+        self.mdc = MetadataCache(
+            capacity_entries=mdc_entries,
+            max_bursts=max(block_size_bytes // mag_bytes, backend.max_bursts),
+        )
+        self.channel = DRAMChannel(timing=timing, mag_bytes=mag_bytes)
+        self.stats = MemoryControllerStats()
+        self._storage: dict[int, StoredBlock] = {}
+
+    # ------------------------------------------------------------------ #
+    # stores (host copies and kernel writebacks)
+
+    def store_block(
+        self,
+        block_address: int,
+        block: bytes,
+        approximable: bool = True,
+        count_traffic: bool = True,
+    ) -> StoredBlock:
+        """Compress and store a block.
+
+        Args:
+            block_address: global block address.
+            block: raw block contents.
+            approximable: whether the block's region is safe to approximate.
+            count_traffic: whether to charge write bursts and DRAM busy time
+                (host-to-device copies before the kernel are not charged).
+        """
+        stored = self.backend.store(block, approximable=approximable)
+        self._storage[block_address] = stored
+        self.mdc.update(block_address, stored.bursts)
+        self.stats.compress_invocations += 1
+        if stored.lossy:
+            self.stats.lossy_blocks += 1
+        if count_traffic:
+            self.stats.writes += 1
+            self.stats.write_bursts += stored.bursts
+            self.channel.service(block_address * self.block_size_bytes, stored.bursts)
+        return stored
+
+    # ------------------------------------------------------------------ #
+    # loads (L2 misses)
+
+    def read_block(self, block_address: int) -> bytes:
+        """Serve an L2 miss: fetch the recorded bursts and decompress.
+
+        Blocks never written through this controller (e.g. constant data that
+        the trace touches without a prior store) are treated as uncompressed.
+        """
+        stored = self._storage.get(block_address)
+        mdc_bursts = self.mdc.bursts_to_fetch(block_address)
+        if stored is None:
+            actual_bursts = self.backend.max_bursts
+            data = bytes(self.block_size_bytes)
+        else:
+            actual_bursts = stored.bursts
+            data = stored.data
+        # On an MDC miss the controller conservatively fetches the worst case.
+        bursts = max(actual_bursts, mdc_bursts) if mdc_bursts else actual_bursts
+        self.stats.mdc_extra_bursts += max(0, bursts - actual_bursts)
+        self.mdc.update(block_address, actual_bursts)
+
+        self.stats.reads += 1
+        self.stats.read_bursts += bursts
+        self.stats.decompress_invocations += 1
+        self.channel.service(block_address * self.block_size_bytes, bursts)
+        return data
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def stored_data(self, block_address: int) -> bytes | None:
+        """The data currently stored for a block (possibly degraded), if any."""
+        stored = self._storage.get(block_address)
+        return stored.data if stored is not None else None
+
+    @property
+    def busy_memory_cycles(self) -> int:
+        """DRAM-channel busy time in memory-clock cycles."""
+        return self.channel.busy_cycles
+
+    @property
+    def stored_blocks(self) -> int:
+        """Number of distinct blocks stored through this controller."""
+        return len(self._storage)

@@ -1,0 +1,357 @@
+"""Trace-driven GPU simulator.
+
+Ties the substrates together: a workload generates its data and memory trace,
+a compression backend decides how every block is stored, the L2 cache filters
+the trace into memory-controller traffic, GDDR5 channels turn bursts into
+busy time, and analytic timing/energy models turn the resulting counters into
+execution time, energy and EDP.  Kernel outputs recomputed from the degraded
+(approximated) inputs feed the application-specific error metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.backends import CompressionBackend
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import GPUConfig
+from repro.gpu.energy import EnergyBreakdown, EnergyModel
+from repro.gpu.memory_controller import MemoryController
+from repro.gpu.sm import SMCluster
+from repro.utils.blocks import array_to_blocks, blocks_to_array
+from repro.utils.sampling import sample_evenly
+from repro.workloads.base import Region, Workload, WorkloadOutput
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one simulation run produces.
+
+    The relative metrics of the paper's figures (speedup, normalized
+    bandwidth, energy, EDP) are obtained by dividing the corresponding fields
+    of two results (scheme vs. the E2MC baseline).
+    """
+
+    workload: str
+    backend: str
+    exec_time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    exposed_latency_s: float
+    compute_ops: float
+    total_bursts: int
+    read_bursts: int
+    write_bursts: int
+    dram_bytes: int
+    dram_row_misses: int
+    l2_accesses: int
+    l2_hit_rate: float
+    stored_blocks: int
+    lossy_blocks: int
+    error_percent: float
+    energy: EnergyBreakdown
+    mdc_hit_rate: float = 1.0
+    extra_metrics: dict = field(default_factory=dict)
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy in joules."""
+        return self.energy.total_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.energy.edp(self.exec_time_s)
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """How much of the execution time the memory system accounts for."""
+        if self.exec_time_s == 0:
+            return 0.0
+        return min(1.0, self.memory_time_s / self.exec_time_s)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Execution-time speedup of this run relative to ``baseline``."""
+        if self.exec_time_s == 0:
+            raise ZeroDivisionError("cannot compute speedup of a zero-time run")
+        return baseline.exec_time_s / self.exec_time_s
+
+    def bandwidth_ratio_over(self, baseline: "SimulationResult") -> float:
+        """Off-chip traffic of this run normalized to ``baseline`` (lower is better)."""
+        if baseline.dram_bytes == 0:
+            raise ZeroDivisionError("baseline transferred no data")
+        return self.dram_bytes / baseline.dram_bytes
+
+    def energy_ratio_over(self, baseline: "SimulationResult") -> float:
+        """Energy of this run normalized to ``baseline`` (lower is better)."""
+        return self.energy_j / baseline.energy_j
+
+    def edp_ratio_over(self, baseline: "SimulationResult") -> float:
+        """EDP of this run normalized to ``baseline`` (lower is better)."""
+        return self.edp / baseline.edp
+
+
+class GPUSimulator:
+    """Trace-driven simulation of one workload under one compression backend.
+
+    Args:
+        config: GPU configuration (Table II by default).
+        energy_model: energy model; a default :class:`EnergyModel` is created
+            when omitted.
+        sm_efficiency: achieved fraction of peak SM issue rate.
+        overlap_penalty: fraction of the shorter of (compute, memory) time
+            that is *not* hidden under the longer one — models imperfect
+            overlap of computation and memory transfers.
+        train_samples: number of blocks sampled per workload to train the
+            compression backend's probability model (E2MC's online sampling).
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig | None = None,
+        energy_model: EnergyModel | None = None,
+        sm_efficiency: float = 0.7,
+        overlap_penalty: float = 0.15,
+        train_samples: int = 1024,
+    ) -> None:
+        self.config = config or GPUConfig()
+        self.energy_model = energy_model or EnergyModel()
+        self.sm_cluster = SMCluster(self.config, efficiency=sm_efficiency)
+        if not 0 <= overlap_penalty <= 1:
+            raise ValueError("overlap_penalty must be within [0, 1]")
+        if train_samples <= 0:
+            raise ValueError("train_samples must be positive")
+        self.overlap_penalty = overlap_penalty
+        self.train_samples = train_samples
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    def run(
+        self,
+        workload: Workload,
+        backend: CompressionBackend,
+        compute_error: bool = True,
+    ) -> SimulationResult:
+        """Simulate ``workload`` with ``backend`` and return the result."""
+        block_size = self.config.block_size_bytes
+
+        input_regions = workload.generate()
+        exact_outputs = workload.run(workload.input_arrays(input_regions))
+        all_regions: dict[str, Region] = dict(input_regions)
+        all_regions.update(workload.output_regions(exact_outputs))
+
+        region_blocks = {
+            name: array_to_blocks(region.array, block_size)
+            for name, region in all_regions.items()
+        }
+        base_addresses = self._layout(all_regions, region_blocks)
+
+        self._train_backend(backend, input_regions, region_blocks)
+
+        controllers = [
+            MemoryController(
+                controller_id=i,
+                backend=backend,
+                mag_bytes=self.config.mag_bytes,
+                block_size_bytes=block_size,
+            )
+            for i in range(self.config.num_memory_controllers)
+        ]
+        l2 = SetAssociativeCache(
+            size_bytes=self.config.l2_cache_kb * 1024,
+            line_bytes=self.config.l2_line_bytes,
+            ways=self.config.l2_ways,
+        )
+
+        # Host-to-device copy: every input region is compressed and stored.
+        # This traffic happens before the kernel and is not charged to it.
+        for name, region in input_regions.items():
+            base = base_addresses[name]
+            for index, block in enumerate(region_blocks[name]):
+                self._controller(controllers, base + index).store_block(
+                    base + index,
+                    block,
+                    approximable=region.approximable,
+                    count_traffic=False,
+                )
+
+        # Kernel execution: replay the workload's block trace through the L2.
+        trace = workload.trace(all_regions, block_size_bytes=block_size)
+        for access in trace:
+            region = all_regions[access.region]
+            address = base_addresses[access.region] + access.block_index
+            for _ in range(access.count):
+                hit = l2.access(address, is_write=access.is_write)
+                if hit:
+                    continue
+                controller = self._controller(controllers, address)
+                if access.is_write:
+                    block = region_blocks[access.region][access.block_index]
+                    controller.store_block(
+                        address,
+                        block,
+                        approximable=region.approximable,
+                        count_traffic=True,
+                    )
+                else:
+                    controller.read_block(address)
+
+        error_percent = 0.0
+        if compute_error:
+            degraded = self._degraded_inputs(
+                workload, input_regions, region_blocks, base_addresses, controllers
+            )
+            approx_outputs = workload.run(degraded)
+            error_percent = workload.error(exact_outputs, approx_outputs)
+
+        return self._assemble_result(
+            workload, backend, all_regions, controllers, l2, error_percent
+        )
+
+    # ------------------------------------------------------------------ #
+    # pipeline stages
+
+    def _layout(
+        self,
+        regions: dict[str, Region],
+        region_blocks: dict[str, list[bytes]],
+    ) -> dict[str, int]:
+        """Assign each region a base block address in a flat address space."""
+        base_addresses: dict[str, int] = {}
+        next_block = 0
+        for name in regions:
+            base_addresses[name] = next_block
+            next_block += len(region_blocks[name])
+        return base_addresses
+
+    #: consecutive blocks kept on the same controller (2 KB, one DRAM row)
+    #: before moving to the next — the coarse interleaving real GPUs use to
+    #: preserve row-buffer locality while still balancing channels.
+    CHANNEL_INTERLEAVE_BLOCKS = 16
+
+    def _controller(
+        self, controllers: list[MemoryController], block_address: int
+    ) -> MemoryController:
+        """Interleave block addresses across memory controllers."""
+        group = block_address // self.CHANNEL_INTERLEAVE_BLOCKS
+        return controllers[group % len(controllers)]
+
+    def _train_backend(
+        self,
+        backend: CompressionBackend,
+        input_regions: dict[str, Region],
+        region_blocks: dict[str, list[bytes]],
+    ) -> None:
+        """Sample input blocks to train the backend's probability model."""
+        all_blocks: list[bytes] = []
+        for name in input_regions:
+            all_blocks.extend(region_blocks[name])
+        samples = sample_evenly(all_blocks, self.train_samples)
+        if samples:
+            backend.train(samples)
+
+    def _degraded_inputs(
+        self,
+        workload: Workload,
+        input_regions: dict[str, Region],
+        region_blocks: dict[str, list[bytes]],
+        base_addresses: dict[str, int],
+        controllers: list[MemoryController],
+    ) -> dict[str, np.ndarray]:
+        """Reassemble the input arrays as the kernel would read them back."""
+        degraded: dict[str, np.ndarray] = {}
+        for name, region in input_regions.items():
+            base = base_addresses[name]
+            blocks = []
+            for index, original in enumerate(region_blocks[name]):
+                stored = self._controller(controllers, base + index).stored_data(
+                    base + index
+                )
+                blocks.append(stored if stored is not None else original)
+            degraded[name] = blocks_to_array(
+                blocks, region.array.dtype, region.array.shape,
+                block_size=self.config.block_size_bytes,
+            )
+        return degraded
+
+    def _assemble_result(
+        self,
+        workload: Workload,
+        backend: CompressionBackend,
+        all_regions: dict[str, Region],
+        controllers: list[MemoryController],
+        l2: SetAssociativeCache,
+        error_percent: float,
+    ) -> SimulationResult:
+        read_bursts = sum(c.stats.read_bursts for c in controllers)
+        write_bursts = sum(c.stats.write_bursts for c in controllers)
+        total_bursts = read_bursts + write_bursts
+        dram_bytes = total_bursts * self.config.mag_bytes
+        row_misses = sum(c.channel.stats.row_misses for c in controllers)
+        lossy_blocks = sum(c.stats.lossy_blocks for c in controllers)
+        stored_blocks = sum(c.stored_blocks for c in controllers)
+        compress_ops = sum(c.stats.compress_invocations for c in controllers)
+        decompress_ops = sum(c.stats.decompress_invocations for c in controllers)
+        mdc_hit_rates = [c.mdc.stats.hit_rate for c in controllers if c.mdc.stats.accesses]
+        mdc_hit_rate = float(np.mean(mdc_hit_rates)) if mdc_hit_rates else 1.0
+
+        compute_ops = workload.compute_ops(all_regions)
+        compute_cycles = self.sm_cluster.compute_cycles(compute_ops)
+        compute_time = compute_cycles / self.config.core_clock_hz
+
+        busiest_channel = max(c.busy_memory_cycles for c in controllers)
+        memory_time = busiest_channel / self.config.memory_clock_hz
+
+        latency_cfg = self.config.latency
+        reads = sum(c.stats.reads for c in controllers)
+        writes = sum(c.stats.writes for c in controllers)
+        exposed_cycles = latency_cfg.exposed_latency_fraction * (
+            reads * backend.decompress_latency_cycles
+            + writes * backend.compress_latency_cycles
+        ) / max(1, len(controllers))
+        exposed_time = exposed_cycles / self.config.memory_clock_hz
+
+        exec_time = (
+            max(compute_time, memory_time)
+            + self.overlap_penalty * min(compute_time, memory_time)
+            + exposed_time
+        )
+
+        energy = self.energy_model.evaluate(
+            exec_time_s=exec_time,
+            compute_ops=compute_ops,
+            l2_accesses=l2.stats.accesses,
+            dram_bursts=total_bursts,
+            dram_row_misses=row_misses,
+            compressed_blocks=compress_ops,
+            decompressed_blocks=decompress_ops,
+            mag_bytes=self.config.mag_bytes,
+        )
+
+        return SimulationResult(
+            workload=workload.name,
+            backend=backend.name,
+            exec_time_s=exec_time,
+            compute_time_s=compute_time,
+            memory_time_s=memory_time,
+            exposed_latency_s=exposed_time,
+            compute_ops=compute_ops,
+            total_bursts=total_bursts,
+            read_bursts=read_bursts,
+            write_bursts=write_bursts,
+            dram_bytes=dram_bytes,
+            dram_row_misses=row_misses,
+            l2_accesses=l2.stats.accesses,
+            l2_hit_rate=l2.stats.hit_rate,
+            stored_blocks=stored_blocks,
+            lossy_blocks=lossy_blocks,
+            error_percent=error_percent,
+            energy=energy,
+            mdc_hit_rate=mdc_hit_rate,
+            extra_metrics={
+                "mdc_extra_bursts": sum(c.stats.mdc_extra_bursts for c in controllers),
+            },
+        )

@@ -1,0 +1,58 @@
+"""Streaming-multiprocessor compute model.
+
+The trace-driven simulator does not execute instructions; it needs the SMs
+only to translate a workload's arithmetic work into compute cycles and to
+bound how much memory latency the GPU can hide.  ``SMCluster`` models the 16
+GTX580-class SMs of Table II as a throughput resource with an efficiency
+factor for control/divergence overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class SMCluster:
+    """Aggregate compute throughput of all SMs.
+
+    Args:
+        config: the GPU configuration (SM count, clock).
+        lanes_per_sm: scalar operations issued per SM per core-clock cycle;
+            GTX580 SMs have 32 CUDA cores running at twice the core clock, so
+            64 is used as the effective per-core-cycle issue width.
+        efficiency: achieved fraction of peak issue rate for real kernels
+            (branching, scheduling and load-use stalls keep this below 1).
+    """
+
+    config: GPUConfig
+    lanes_per_sm: int = 64
+    efficiency: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.lanes_per_sm <= 0:
+            raise ValueError("lanes_per_sm must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def peak_ops_per_cycle(self) -> float:
+        """Scalar operations the whole GPU can issue per core cycle."""
+        return self.config.num_sms * self.lanes_per_sm
+
+    @property
+    def sustained_ops_per_cycle(self) -> float:
+        """Achievable operations per cycle including the efficiency factor."""
+        return self.peak_ops_per_cycle * self.efficiency
+
+    def compute_cycles(self, total_ops: float) -> float:
+        """Core cycles to execute ``total_ops`` scalar operations."""
+        if total_ops < 0:
+            raise ValueError("total_ops must be non-negative")
+        return total_ops / self.sustained_ops_per_cycle
+
+    def concurrency(self) -> int:
+        """Maximum resident threads across the GPU (latency-hiding capacity)."""
+        return self.config.num_sms * self.config.max_threads_per_sm

@@ -1,0 +1,122 @@
+"""Memory access traces.
+
+Workloads describe their DRAM-visible traffic as a sequence of block-level
+accesses over named memory regions.  The trace is deliberately block-granular
+(128 B) because that is the granularity at which the L2, the compressors and
+the DRAM burst accounting all operate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class AccessType(Enum):
+    """Read or write, as seen at the L2 / memory-controller boundary."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One block-granular memory access.
+
+    Attributes:
+        region: name of the memory region (allocation) being accessed.
+        block_index: index of the 128 B block within that region.
+        access_type: read or write.
+        count: how many times this access is repeated back to back (a compact
+            representation for streaming loops).
+    """
+
+    region: str
+    block_index: int
+    access_type: AccessType = AccessType.READ
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.block_index < 0:
+            raise ValueError("block_index must be non-negative")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+
+    @property
+    def is_write(self) -> bool:
+        """Whether the access is a write."""
+        return self.access_type is AccessType.WRITE
+
+
+@dataclass
+class MemoryTrace:
+    """An ordered sequence of :class:`MemoryAccess` entries."""
+
+    accesses: list[MemoryAccess] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def append(self, access: MemoryAccess) -> None:
+        """Add one access to the end of the trace."""
+        self.accesses.append(access)
+
+    def extend(self, accesses: Iterable[MemoryAccess]) -> None:
+        """Add many accesses to the end of the trace."""
+        self.accesses.extend(accesses)
+
+    def add_stream(
+        self,
+        region: str,
+        num_blocks: int,
+        access_type: AccessType = AccessType.READ,
+        passes: int = 1,
+        stride: int = 1,
+    ) -> None:
+        """Append a streaming sweep over a region.
+
+        Args:
+            region: region name.
+            num_blocks: number of blocks in the region.
+            access_type: read or write.
+            passes: how many times the whole region is swept.
+            stride: block stride of the sweep (1 = fully sequential; larger
+                strides model strided/column-major kernels such as transpose).
+        """
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        for _ in range(passes):
+            for offset in range(stride):
+                for block in range(offset, num_blocks, stride):
+                    self.accesses.append(
+                        MemoryAccess(region=region, block_index=block, access_type=access_type)
+                    )
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of accesses including repeat counts."""
+        return sum(access.count for access in self.accesses)
+
+    @property
+    def read_accesses(self) -> int:
+        """Total number of read accesses."""
+        return sum(a.count for a in self.accesses if not a.is_write)
+
+    @property
+    def write_accesses(self) -> int:
+        """Total number of write accesses."""
+        return sum(a.count for a in self.accesses if a.is_write)
+
+    def regions(self) -> list[str]:
+        """Names of all regions referenced by the trace, in first-use order."""
+        seen: list[str] = []
+        for access in self.accesses:
+            if access.region not in seen:
+                seen.append(access.region)
+        return seen

@@ -1,0 +1,24 @@
+"""Analytic 32 nm hardware cost model for the SLC logic (Table I)."""
+
+from repro.hardware.gates import GateLibrary, GateCount
+from repro.hardware.gpu_reference import E2MC_REFERENCE, GTX580_REFERENCE, GPUReference
+from repro.hardware.synthesis import (
+    SynthesisResult,
+    overhead_summary,
+    synthesize_tslc_compressor,
+    synthesize_tslc_decompressor,
+    table1,
+)
+
+__all__ = [
+    "overhead_summary",
+    "GateLibrary",
+    "GateCount",
+    "GPUReference",
+    "GTX580_REFERENCE",
+    "E2MC_REFERENCE",
+    "SynthesisResult",
+    "synthesize_tslc_compressor",
+    "synthesize_tslc_decompressor",
+    "table1",
+]

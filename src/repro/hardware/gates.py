@@ -1,0 +1,81 @@
+"""Gate-level primitives of the 32 nm cost model.
+
+The paper synthesized RTL with Synopsys Design Compiler at 32 nm and reports
+only aggregate frequency/area/power (Table I).  To reproduce those aggregates
+without a commercial tool flow, the hardware here is counted in NAND2-
+equivalent gates with per-gate area and switching-power constants typical of
+a 32 nm standard-cell library; the constants are calibrated so the totals of
+the TSLC compressor/decompressor land in the range Table I reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GateLibrary:
+    """Per-gate constants of a 32 nm standard-cell library."""
+
+    #: area of one NAND2-equivalent gate [mm²]
+    nand2_area_mm2: float = 1.0e-6
+    #: dynamic + leakage power of one gate at 1 GHz with typical activity [mW]
+    nand2_power_mw_per_ghz: float = 2.2e-4
+    #: gates per full adder (sum + carry logic)
+    gates_per_full_adder: float = 6.0
+    #: gates per flip-flop / register bit
+    gates_per_register_bit: float = 8.0
+    #: gates per comparator bit (greater-or-equal)
+    gates_per_comparator_bit: float = 3.5
+    #: gates per 2:1 multiplexer bit
+    gates_per_mux_bit: float = 3.0
+    #: gates per priority-encoder input
+    gates_per_priority_encoder_input: float = 4.0
+
+
+@dataclass
+class GateCount:
+    """Accumulates gate counts for one synthesized unit."""
+
+    library: GateLibrary
+    gates: float = 0.0
+
+    def add_adder(self, width_bits: int, count: int = 1) -> None:
+        """Add ripple/carry-save adders of the given operand width."""
+        self.gates += self.library.gates_per_full_adder * width_bits * count
+
+    def add_registers(self, bits: int, count: int = 1) -> None:
+        """Add register bits (pipeline/output registers)."""
+        self.gates += self.library.gates_per_register_bit * bits * count
+
+    def add_comparator(self, width_bits: int, count: int = 1) -> None:
+        """Add ≥ comparators of the given width."""
+        self.gates += self.library.gates_per_comparator_bit * width_bits * count
+
+    def add_mux(self, width_bits: int, inputs: int, count: int = 1) -> None:
+        """Add an ``inputs``:1 multiplexer of the given data width."""
+        two_to_one = max(1, inputs - 1)
+        self.gates += self.library.gates_per_mux_bit * width_bits * two_to_one * count
+
+    def add_priority_encoder(self, inputs: int, count: int = 1) -> None:
+        """Add a priority encoder over ``inputs`` request lines."""
+        self.gates += self.library.gates_per_priority_encoder_input * inputs * count
+
+    def add_raw_gates(self, gates: float) -> None:
+        """Add miscellaneous control logic counted directly in gates."""
+        self.gates += gates
+
+    # ------------------------------------------------------------------ #
+    # conversions
+
+    def area_mm2(self) -> float:
+        """Total cell area in mm²."""
+        return self.gates * self.library.nand2_area_mm2
+
+    def power_mw(self, frequency_ghz: float, activity: float = 1.0) -> float:
+        """Power at the given clock frequency and switching activity [mW]."""
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if not 0 < activity <= 1:
+            raise ValueError("activity must lie in (0, 1]")
+        return self.gates * self.library.nand2_power_mw_per_ghz * frequency_ghz * activity

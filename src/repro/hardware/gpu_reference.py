@@ -1,0 +1,24 @@
+"""Reference die area / power figures used to put the SLC overhead in context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUReference:
+    """Published area/power figures of a reference design."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+#: NVIDIA GTX580 (GF110, 40 nm): 520 mm² die, 244 W TDP.  The paper reports
+#: the SLC overhead as a percentage of this GPU.
+GTX580_REFERENCE = GPUReference(name="GTX580", area_mm2=520.0, power_w=244.0)
+
+#: Area of the E2MC compression hardware the paper extends.  Derived from the
+#: paper's statement that TSLC adds 5.6 % of the area of E2MC while the TSLC
+#: compressor itself is 0.0083 mm².
+E2MC_REFERENCE = GPUReference(name="E2MC", area_mm2=0.148, power_w=0.030)

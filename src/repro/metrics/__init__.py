@@ -1,0 +1,29 @@
+"""Error and performance metrics used throughout the evaluation."""
+
+from repro.metrics.error import (
+    image_diff_percent,
+    mean_relative_error_percent,
+    miss_rate_percent,
+    nrmse_percent,
+)
+from repro.metrics.performance import (
+    bandwidth_reduction_percent,
+    edp_reduction_percent,
+    energy_reduction_percent,
+    normalized_metric,
+    speedup,
+    summarize_geomean,
+)
+
+__all__ = [
+    "mean_relative_error_percent",
+    "nrmse_percent",
+    "image_diff_percent",
+    "miss_rate_percent",
+    "speedup",
+    "normalized_metric",
+    "bandwidth_reduction_percent",
+    "energy_reduction_percent",
+    "edp_reduction_percent",
+    "summarize_geomean",
+]

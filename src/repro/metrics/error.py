@@ -1,0 +1,75 @@
+"""Application-specific error metrics (Table III).
+
+The paper uses mean relative error (MRE) for numeric outputs, normalized
+root-mean-square error (NRMSE) for signal/transform outputs, an image
+difference for image outputs and the miss rate (fraction of flipped boolean
+decisions) for JM.  All metrics are reported in percent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_float_arrays(exact, approx) -> tuple[np.ndarray, np.ndarray]:
+    exact_arr = np.asarray(exact, dtype=np.float64)
+    approx_arr = np.asarray(approx, dtype=np.float64)
+    if exact_arr.shape != approx_arr.shape:
+        raise ValueError(
+            f"shape mismatch between exact {exact_arr.shape} and approx {approx_arr.shape}"
+        )
+    return exact_arr, approx_arr
+
+
+def mean_relative_error_percent(
+    exact, approx, epsilon: float = 1e-6, clip_percent: float = 100.0
+) -> float:
+    """Mean relative error in percent.
+
+    Per-element relative errors are computed against ``max(|exact|, epsilon)``
+    to avoid division by zero and clipped at ``clip_percent`` (an element that
+    is completely wrong should count as 100 % wrong, not as an unbounded
+    outlier) — the convention used by the approximate-computing benchmarks the
+    paper draws from.
+    """
+    exact_arr, approx_arr = _as_float_arrays(exact, approx)
+    if exact_arr.size == 0:
+        return 0.0
+    denom = np.maximum(np.abs(exact_arr), epsilon)
+    relative = np.abs(exact_arr - approx_arr) / denom * 100.0
+    relative = np.minimum(relative, clip_percent)
+    return float(np.mean(relative))
+
+
+def nrmse_percent(exact, approx) -> float:
+    """Normalized root-mean-square error in percent (normalized by the range)."""
+    exact_arr, approx_arr = _as_float_arrays(exact, approx)
+    if exact_arr.size == 0:
+        return 0.0
+    rmse = float(np.sqrt(np.mean((exact_arr - approx_arr) ** 2)))
+    value_range = float(np.max(exact_arr) - np.min(exact_arr))
+    if value_range == 0:
+        value_range = max(abs(float(np.max(exact_arr))), 1e-12)
+    return rmse / value_range * 100.0
+
+
+def image_diff_percent(exact, approx) -> float:
+    """Image difference in percent.
+
+    Computed as the NRMSE over pixel values, matching the "Image diff."
+    metric of the AxBench/Rodinia image benchmarks.
+    """
+    return nrmse_percent(exact, approx)
+
+
+def miss_rate_percent(exact, approx) -> float:
+    """Fraction of boolean decisions that flipped, in percent (the JM metric)."""
+    exact_arr = np.asarray(exact, dtype=bool)
+    approx_arr = np.asarray(approx, dtype=bool)
+    if exact_arr.shape != approx_arr.shape:
+        raise ValueError(
+            f"shape mismatch between exact {exact_arr.shape} and approx {approx_arr.shape}"
+        )
+    if exact_arr.size == 0:
+        return 0.0
+    return float(np.mean(exact_arr != approx_arr)) * 100.0

@@ -1,0 +1,45 @@
+"""Performance metrics: speedup, bandwidth/energy/EDP reductions, geomeans."""
+
+from __future__ import annotations
+
+from repro.compression.stats import geometric_mean
+
+
+def speedup(baseline_time_s: float, time_s: float) -> float:
+    """Execution-time speedup of a scheme over a baseline (>1 is faster)."""
+    if time_s <= 0:
+        raise ValueError("execution time must be positive")
+    return baseline_time_s / time_s
+
+
+def normalized_metric(value: float, baseline_value: float) -> float:
+    """A metric normalized to a baseline (the y-axes of Figs. 7–9)."""
+    if baseline_value == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return value / baseline_value
+
+
+def bandwidth_reduction_percent(baseline_bytes: float, bytes_transferred: float) -> float:
+    """Percentage reduction in off-chip traffic relative to a baseline."""
+    if baseline_bytes <= 0:
+        raise ValueError("baseline traffic must be positive")
+    return (1.0 - bytes_transferred / baseline_bytes) * 100.0
+
+
+def energy_reduction_percent(baseline_energy_j: float, energy_j: float) -> float:
+    """Percentage reduction in energy relative to a baseline."""
+    if baseline_energy_j <= 0:
+        raise ValueError("baseline energy must be positive")
+    return (1.0 - energy_j / baseline_energy_j) * 100.0
+
+
+def edp_reduction_percent(baseline_edp: float, edp: float) -> float:
+    """Percentage reduction in energy-delay product relative to a baseline."""
+    if baseline_edp <= 0:
+        raise ValueError("baseline EDP must be positive")
+    return (1.0 - edp / baseline_edp) * 100.0
+
+
+def summarize_geomean(values: dict[str, float]) -> float:
+    """Geometric mean over a per-benchmark dictionary (the paper's GM bars)."""
+    return geometric_mean(list(values.values()))

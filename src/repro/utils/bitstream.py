@@ -1,0 +1,124 @@
+"""Bit-level writer/reader used by the compressor implementations.
+
+The hardware compressors in the paper emit variable-length codewords that are
+packed MSB-first into a compressed block.  ``BitWriter`` and ``BitReader``
+model that packing exactly so that compressed sizes are bit-accurate and
+round-trips (compress then decompress) can be verified in tests.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates variable-length bit fields, MSB-first."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def write(self, value: int, width: int) -> None:
+        """Write ``value`` using exactly ``width`` bits (MSB first).
+
+        Raises:
+            ValueError: if ``value`` does not fit in ``width`` bits or is
+                negative, or if ``width`` is negative.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        if width < value.bit_length():
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bits(self, bits: list[int]) -> None:
+        """Append a raw list of 0/1 bits."""
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"bits must be 0 or 1, got {bit}")
+            self._bits.append(bit)
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes, padding the final byte with zeros."""
+        out = bytearray()
+        acc = 0
+        count = 0
+        for bit in self._bits:
+            acc = (acc << 1) | bit
+            count += 1
+            if count == 8:
+                out.append(acc)
+                acc = 0
+                count = 0
+        if count:
+            out.append(acc << (8 - count))
+        return bytes(out)
+
+    def bits(self) -> list[int]:
+        """Return a copy of the raw bit list."""
+        return list(self._bits)
+
+
+class BitReader:
+    """Reads bit fields from data produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes | list[int], bit_length: int | None = None) -> None:
+        if isinstance(data, (bytes, bytearray)):
+            bits = []
+            for byte in data:
+                for shift in range(7, -1, -1):
+                    bits.append((byte >> shift) & 1)
+        else:
+            bits = list(data)
+        if bit_length is not None:
+            if bit_length > len(bits):
+                raise ValueError(
+                    f"bit_length {bit_length} exceeds available bits {len(bits)}"
+                )
+            bits = bits[:bit_length]
+        self._bits = bits
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read position in bits."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return len(self._bits) - self._pos
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if self._pos + width > len(self._bits):
+            raise EOFError(
+                f"requested {width} bits but only {self.remaining} remain"
+            )
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self._bits[self._pos]
+            self._pos += 1
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read(1)
+
+    def peek(self, width: int) -> int:
+        """Return the next ``width`` bits without consuming them."""
+        pos = self._pos
+        try:
+            return self.read(width)
+        finally:
+            self._pos = pos

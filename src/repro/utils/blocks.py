@@ -1,0 +1,85 @@
+"""Helpers for slicing NumPy arrays into fixed-size memory blocks.
+
+GPU memory compression operates on cache-line-sized blocks (128 B in the
+paper).  Workload data lives in NumPy arrays; these helpers convert between
+array storage and the byte blocks the compressors and the memory controller
+see, and between blocks and the 16-bit symbol streams E2MC/SLC operate on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_BLOCK_SIZE = 128
+SYMBOL_BYTES = 2
+WORD_BYTES = 4
+
+
+def array_to_blocks(array: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE) -> list[bytes]:
+    """Split an array's raw bytes into ``block_size`` chunks.
+
+    The final block is zero-padded to ``block_size`` bytes, mirroring how a
+    memory allocation is padded to whole cache lines.
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    raw = np.ascontiguousarray(array).tobytes()
+    blocks = []
+    for start in range(0, len(raw), block_size):
+        chunk = raw[start:start + block_size]
+        if len(chunk) < block_size:
+            chunk = chunk + b"\x00" * (block_size - len(chunk))
+        blocks.append(chunk)
+    return blocks
+
+
+def blocks_to_array(
+    blocks: list[bytes],
+    dtype: np.dtype,
+    shape: tuple[int, ...],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> np.ndarray:
+    """Reassemble an array from blocks produced by :func:`array_to_blocks`."""
+    raw = b"".join(blocks)
+    count = int(np.prod(shape))
+    itemsize = np.dtype(dtype).itemsize
+    needed = count * itemsize
+    if len(raw) < needed:
+        raise ValueError(
+            f"blocks provide {len(raw)} bytes but shape {shape} needs {needed}"
+        )
+    flat = np.frombuffer(raw[:needed], dtype=dtype)
+    return flat.reshape(shape).copy()
+
+
+def block_to_symbols(block: bytes, symbol_bytes: int = SYMBOL_BYTES) -> list[int]:
+    """Split a block into fixed-width little-endian symbols (16-bit default)."""
+    if len(block) % symbol_bytes:
+        raise ValueError(
+            f"block length {len(block)} is not a multiple of symbol size {symbol_bytes}"
+        )
+    symbols = []
+    for start in range(0, len(block), symbol_bytes):
+        symbols.append(int.from_bytes(block[start:start + symbol_bytes], "little"))
+    return symbols
+
+
+def symbols_to_block(symbols: list[int], symbol_bytes: int = SYMBOL_BYTES) -> bytes:
+    """Inverse of :func:`block_to_symbols`."""
+    out = bytearray()
+    limit = 1 << (8 * symbol_bytes)
+    for symbol in symbols:
+        if not 0 <= symbol < limit:
+            raise ValueError(f"symbol {symbol} out of range for {symbol_bytes} bytes")
+        out.extend(int(symbol).to_bytes(symbol_bytes, "little"))
+    return bytes(out)
+
+
+def bytes_to_words(block: bytes, word_bytes: int = WORD_BYTES) -> list[int]:
+    """Split a block into fixed-width little-endian words (32-bit default)."""
+    return block_to_symbols(block, symbol_bytes=word_bytes)
+
+
+def words_to_bytes(words: list[int], word_bytes: int = WORD_BYTES) -> bytes:
+    """Inverse of :func:`bytes_to_words`."""
+    return symbols_to_block(words, symbol_bytes=word_bytes)

@@ -1,0 +1,23 @@
+"""Evenly-spaced sampling helpers (the E2MC online-sampling stand-in)."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def sample_evenly(items: Sequence[T], target: int) -> list[T]:
+    """Return up to ``target`` items spread evenly across ``items``.
+
+    Used to build the E2MC/SLC symbol-frequency table from a subset of a
+    workload's blocks, mirroring the paper's online sampling window while
+    keeping simulation cost bounded for very large inputs.
+    """
+    if target <= 0:
+        raise ValueError("target must be positive")
+    n = len(items)
+    if n <= target:
+        return list(items)
+    stride = n / target
+    return [items[int(i * stride)] for i in range(target)]

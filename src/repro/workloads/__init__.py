@@ -1,0 +1,49 @@
+"""The nine benchmarks of the paper's evaluation (Table III).
+
+Each workload is a NumPy re-implementation of the corresponding CUDA kernel
+(AxBench / CUDA SDK / Rodinia), together with:
+
+* synthetic-but-realistic input data generation (the value distributions are
+  what drives compressibility),
+* the set of memory regions it allocates, with the safe-to-approximate
+  annotation the paper expresses through its extended ``cudaMalloc`` (the
+  ``#AR`` column of Table III),
+* a block-granular memory trace approximating the kernel's DRAM traffic,
+* the kernel itself, re-runnable on degraded inputs, and
+* the application-specific error metric of Table III.
+"""
+
+from repro.workloads.backprop import BackpropWorkload
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.blackscholes import BlackScholesWorkload
+from repro.workloads.dct import DCTWorkload
+from repro.workloads.fwt import FastWalshTransformWorkload
+from repro.workloads.jmeint import JMeintWorkload
+from repro.workloads.nn import NearestNeighborWorkload
+from repro.workloads.registry import (
+    PAPER_WORKLOAD_ORDER,
+    available_workloads,
+    get_workload,
+    table3_rows,
+)
+from repro.workloads.srad import SRAD1Workload, SRAD2Workload
+from repro.workloads.transpose import TransposeWorkload
+
+__all__ = [
+    "Workload",
+    "Region",
+    "WorkloadOutput",
+    "JMeintWorkload",
+    "BlackScholesWorkload",
+    "DCTWorkload",
+    "FastWalshTransformWorkload",
+    "TransposeWorkload",
+    "BackpropWorkload",
+    "NearestNeighborWorkload",
+    "SRAD1Workload",
+    "SRAD2Workload",
+    "available_workloads",
+    "get_workload",
+    "table3_rows",
+    "PAPER_WORKLOAD_ORDER",
+]

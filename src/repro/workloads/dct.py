@@ -1,0 +1,93 @@
+"""DCT — blockwise 8×8 discrete cosine transform (CUDA SDK).
+
+Applies the type-II DCT to every 8×8 tile of an input image, the core of
+JPEG-style encoders.  The input image (and the constant cosine basis) are the
+two approximable regions (#AR = 2); the error metric is the image difference
+between the images reconstructed from exact and approximated coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.error import image_diff_percent
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.datagen import quantize_varying, smooth_image
+
+TILE = 8
+
+
+def dct_basis(size: int = TILE) -> np.ndarray:
+    """Orthonormal type-II DCT basis matrix of the given size."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    k = np.arange(size)[:, None]
+    n = np.arange(size)[None, :]
+    basis = np.cos(np.pi * (2 * n + 1) * k / (2 * size))
+    basis[0, :] *= 1.0 / np.sqrt(2.0)
+    basis *= np.sqrt(2.0 / size)
+    return basis.astype(np.float32)
+
+
+def blockwise_dct(image: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """2-D DCT applied independently to every ``TILE``×``TILE`` tile."""
+    image = np.asarray(image, dtype=np.float64)
+    basis = np.asarray(basis, dtype=np.float64)
+    tile = basis.shape[0]
+    height, width = image.shape
+    if height % tile or width % tile:
+        raise ValueError(f"image dimensions must be multiples of {tile}")
+    tiles = image.reshape(height // tile, tile, width // tile, tile).transpose(0, 2, 1, 3)
+    coefficients = np.einsum("ij,abjk,lk->abil", basis, tiles, basis)
+    out = coefficients.transpose(0, 2, 1, 3).reshape(height, width)
+    return out.astype(np.float32)
+
+
+def blockwise_idct(coefficients: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`blockwise_dct` (used by the error metric)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    basis = np.asarray(basis, dtype=np.float64)
+    tile = basis.shape[0]
+    height, width = coefficients.shape
+    tiles = coefficients.reshape(
+        height // tile, tile, width // tile, tile
+    ).transpose(0, 2, 1, 3)
+    image = np.einsum("ji,abjk,kl->abil", basis, tiles, basis)
+    out = image.transpose(0, 2, 1, 3).reshape(height, width)
+    return out.astype(np.float32)
+
+
+class DCTWorkload(Workload):
+    """DCT: blockwise discrete cosine transform of an image."""
+
+    name = "DCT"
+    description = "Discrete trans."
+    input_description = "1024×1024 img."
+    error_metric = "Image diff."
+    approx_region_count = 2
+    ops_per_byte = 2.8
+
+    #: paper-scale image dimension
+    FULL_DIM = 1024
+
+    def generate(self) -> dict[str, Region]:
+        dim = self.scaled_dim(self.FULL_DIM, minimum=64)
+        dim -= dim % TILE
+        # A photograph with spatially varying detail promoted to float32,
+        # as the CUDA SDK sample does.
+        image = quantize_varying(smooth_image(self.rng, dim, dim, noise=2.0), self.rng, 0, 8)
+        basis = dct_basis()
+        return {
+            "image": Region("image", image, approximable=True),
+            "dct_basis": Region("dct_basis", basis, approximable=True),
+        }
+
+    def run(self, arrays: dict[str, np.ndarray]) -> WorkloadOutput:
+        coefficients = blockwise_dct(arrays["image"], arrays["dct_basis"])
+        return WorkloadOutput(arrays={"coefficients": coefficients})
+
+    def error(self, exact: WorkloadOutput, approx: WorkloadOutput) -> float:
+        basis = dct_basis()
+        exact_image = blockwise_idct(exact["coefficients"], basis)
+        approx_image = blockwise_idct(approx["coefficients"], basis)
+        return image_diff_percent(exact_image, approx_image)

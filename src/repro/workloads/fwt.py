@@ -1,0 +1,82 @@
+"""FWT — fast Walsh-Hadamard transform (CUDA SDK).
+
+Transforms a signal with the orthogonal Walsh-Hadamard basis using the
+in-place butterfly algorithm.  The signal and the (second) kernel input are
+the two approximable regions (#AR = 2); the error metric is NRMSE of the
+transformed output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.error import nrmse_percent
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.datagen import correlated_series, quantize_varying
+
+
+def fast_walsh_transform(signal: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 Walsh-Hadamard transform (length must be a power of 2)."""
+    data = np.asarray(signal, dtype=np.float64).copy()
+    length = data.shape[0]
+    if length == 0 or length & (length - 1):
+        raise ValueError(f"signal length must be a power of two, got {length}")
+    span = 1
+    while span < length:
+        view = data.reshape(-1, 2 * span)
+        first = view[:, :span].copy()
+        second = view[:, span:].copy()
+        view[:, :span] = first + second
+        view[:, span:] = first - second
+        span *= 2
+    return data.astype(np.float32)
+
+
+def dyadic_convolution(signal: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Dyadic (XOR) convolution via the Walsh-Hadamard transform.
+
+    This is what the CUDA SDK sample computes: transform both inputs,
+    multiply element-wise, transform back and normalize.
+    """
+    length = signal.shape[0]
+    transformed = fast_walsh_transform(signal) * fast_walsh_transform(kernel)
+    return (fast_walsh_transform(transformed) / length).astype(np.float32)
+
+
+class FastWalshTransformWorkload(Workload):
+    """FWT: dyadic convolution through the fast Walsh-Hadamard transform."""
+
+    name = "FWT"
+    description = "Fast walsh trans."
+    input_description = "8 M elements"
+    error_metric = "NRMSE"
+    approx_region_count = 2
+    ops_per_byte = 2.0
+
+    #: paper-scale element count
+    FULL_ELEMENTS = 8 * 1024 * 1024
+
+    def generate(self) -> dict[str, Region]:
+        elements = self.scaled(self.FULL_ELEMENTS, minimum=4096)
+        # round down to a power of two as required by the butterfly network
+        elements = 1 << (elements.bit_length() - 1)
+        # Fixed-point-like samples whose precision varies along the signal.
+        signal = quantize_varying(
+            correlated_series(self.rng, elements, correlation=0.97, scale=10.0),
+            self.rng, 8, 16,
+        )
+        kernel = quantize_varying(
+            correlated_series(self.rng, elements, correlation=0.9, scale=1.0),
+            self.rng, 8, 16,
+        )
+        return {
+            "signal": Region("signal", signal, approximable=True, read_passes=2),
+            "kernel": Region("kernel", kernel, approximable=True),
+        }
+
+    def run(self, arrays: dict[str, np.ndarray]) -> WorkloadOutput:
+        result = dyadic_convolution(arrays["signal"], arrays["kernel"])
+        return WorkloadOutput(arrays={"convolved": result})
+
+    def error(self, exact: WorkloadOutput, approx: WorkloadOutput) -> float:
+        return nrmse_percent(exact["convolved"], approx["convolved"])

@@ -1,0 +1,169 @@
+"""JM — triangle-pair intersection (jmeint, AxBench).
+
+For every pair of 3-D triangles the kernel decides whether they intersect
+(Möller's interval-overlap test).  The output is a boolean per pair; the
+error metric is the *miss rate*: the fraction of decisions that flip when the
+inputs are approximated.  The paper reports this benchmark as the most
+error-sensitive one (a small perturbation can flip a boolean), which the
+reproduction preserves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.error import miss_rate_percent
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.datagen import clustered_triangles, quantize_varying
+
+_EPSILON = 1e-7
+
+
+def _cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.cross(a, b)
+
+
+def _dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.einsum("ij,ij->i", a, b)
+
+
+def _interval(
+    projections: np.ndarray, distances: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interval of the intersection line covered by one triangle.
+
+    ``projections``/``distances`` have shape (n, 3): the projection of each
+    vertex on the intersection line and its signed distance to the other
+    triangle's plane.  The vertex that lies alone on one side of the plane
+    defines the two interval endpoints.
+    """
+    d0, d1, d2 = distances[:, 0], distances[:, 1], distances[:, 2]
+    p0, p1, p2 = projections[:, 0], projections[:, 1], projections[:, 2]
+
+    # Identify the "odd" vertex: the one on its own side of the plane.
+    odd_is_2 = d0 * d1 > 0
+    odd_is_1 = (~odd_is_2) & (d0 * d2 > 0)
+    odd_is_0 = ~(odd_is_2 | odd_is_1)
+
+    def endpoints(odd, a, b):
+        """Endpoints when ``odd`` is the lone vertex and a/b are the others."""
+        da, db, dodd = distances[:, a], distances[:, b], distances[:, odd]
+        pa, pb, podd = projections[:, a], projections[:, b], projections[:, odd]
+        denom_a = da - dodd
+        denom_b = db - dodd
+        denom_a = np.where(np.abs(denom_a) < _EPSILON, _EPSILON, denom_a)
+        denom_b = np.where(np.abs(denom_b) < _EPSILON, _EPSILON, denom_b)
+        t1 = pa + (podd - pa) * da / denom_a
+        t2 = pb + (podd - pb) * db / denom_b
+        return t1, t2
+
+    t1 = np.zeros_like(d0)
+    t2 = np.zeros_like(d0)
+    for odd_mask, odd, a, b in (
+        (odd_is_2, 2, 0, 1),
+        (odd_is_1, 1, 0, 2),
+        (odd_is_0, 0, 1, 2),
+    ):
+        e1, e2 = endpoints(odd, a, b)
+        t1 = np.where(odd_mask, e1, t1)
+        t2 = np.where(odd_mask, e2, t2)
+    low = np.minimum(t1, t2)
+    high = np.maximum(t1, t2)
+    return low, high
+
+
+def triangles_intersect(tri_a: np.ndarray, tri_b: np.ndarray) -> np.ndarray:
+    """Vectorized Möller triangle-triangle intersection test.
+
+    Args:
+        tri_a: array of shape (n, 3, 3) — n triangles, 3 vertices, xyz.
+        tri_b: array of shape (n, 3, 3).
+
+    Returns:
+        Boolean array of shape (n,) — ``True`` where the triangles intersect.
+        Coplanar pairs are conservatively reported as non-intersecting (they
+        have probability ~0 for the synthetic inputs).
+    """
+    tri_a = np.asarray(tri_a, dtype=np.float64)
+    tri_b = np.asarray(tri_b, dtype=np.float64)
+    if tri_a.shape != tri_b.shape or tri_a.ndim != 3 or tri_a.shape[1:] != (3, 3):
+        raise ValueError("triangle arrays must both have shape (n, 3, 3)")
+
+    # Plane of triangle B: n_b . x + d_b = 0
+    n_b = _cross(tri_b[:, 1] - tri_b[:, 0], tri_b[:, 2] - tri_b[:, 0])
+    d_b = -_dot(n_b, tri_b[:, 0])
+    dist_a = np.stack(
+        [_dot(n_b, tri_a[:, v]) + d_b for v in range(3)], axis=1
+    )
+
+    # Plane of triangle A.
+    n_a = _cross(tri_a[:, 1] - tri_a[:, 0], tri_a[:, 2] - tri_a[:, 0])
+    d_a = -_dot(n_a, tri_a[:, 0])
+    dist_b = np.stack(
+        [_dot(n_a, tri_b[:, v]) + d_a for v in range(3)], axis=1
+    )
+
+    # Early rejection: all vertices of one triangle strictly on one side.
+    same_side_a = np.all(dist_a > _EPSILON, axis=1) | np.all(dist_a < -_EPSILON, axis=1)
+    same_side_b = np.all(dist_b > _EPSILON, axis=1) | np.all(dist_b < -_EPSILON, axis=1)
+    rejected = same_side_a | same_side_b
+
+    # Intersection line direction and the dominant axis for projection.
+    direction = _cross(n_a, n_b)
+    dominant = np.argmax(np.abs(direction), axis=1)
+    rows = np.arange(tri_a.shape[0])
+    proj_a = np.stack([tri_a[rows, v, dominant] for v in range(3)], axis=1)
+    proj_b = np.stack([tri_b[rows, v, dominant] for v in range(3)], axis=1)
+
+    coplanar = np.linalg.norm(direction, axis=1) < _EPSILON
+
+    low_a, high_a = _interval(proj_a, dist_a)
+    low_b, high_b = _interval(proj_b, dist_b)
+    overlap = (high_a >= low_b) & (high_b >= low_a)
+
+    return np.where(rejected | coplanar, False, overlap)
+
+
+class JMeintWorkload(Workload):
+    """JM: intersection tests between pairs of 3-D triangles."""
+
+    name = "JM"
+    description = "Intersection of tri."
+    input_description = "400 K tri. pairs"
+    error_metric = "Miss rate"
+    approx_region_count = 6
+    ops_per_byte = 2.4
+
+    #: paper-scale number of triangle pairs
+    FULL_PAIRS = 400_000
+
+    def generate(self) -> dict[str, Region]:
+        pairs = self.scaled(self.FULL_PAIRS, minimum=256)
+        # Candidate pairs come from a broad-phase filter, so the second
+        # triangle of every pair is close to the first; mesh coordinates
+        # carry limited precision that varies from mesh region to region.
+        raw_a = clustered_triangles(self.rng, pairs)
+        raw_b = clustered_triangles(self.rng, pairs, near=raw_a)
+        tri_a = quantize_varying(raw_a, self.rng, 8, 16)
+        tri_b = quantize_varying(raw_b, self.rng, 8, 16)
+        # The six approximable regions are the six vertex arrays (three
+        # vertices per triangle, two triangles), matching #AR = 6.
+        regions = {}
+        for prefix, triangles in (("tri_a", tri_a), ("tri_b", tri_b)):
+            for vertex in range(3):
+                name = f"{prefix}_v{vertex}"
+                regions[name] = Region(
+                    name=name,
+                    array=np.ascontiguousarray(triangles[:, vertex, :]),
+                    approximable=True,
+                )
+        return regions
+
+    def run(self, arrays: dict[str, np.ndarray]) -> WorkloadOutput:
+        tri_a = np.stack([arrays[f"tri_a_v{v}"] for v in range(3)], axis=1)
+        tri_b = np.stack([arrays[f"tri_b_v{v}"] for v in range(3)], axis=1)
+        result = triangles_intersect(tri_a, tri_b)
+        return WorkloadOutput(arrays={"intersects": result.astype(np.uint8)})
+
+    def error(self, exact: WorkloadOutput, approx: WorkloadOutput) -> float:
+        return miss_rate_percent(exact["intersects"], approx["intersects"])

@@ -1,0 +1,59 @@
+"""Registry of the nine benchmarks in the order the paper plots them."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.backprop import BackpropWorkload
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import BlackScholesWorkload
+from repro.workloads.dct import DCTWorkload
+from repro.workloads.fwt import FastWalshTransformWorkload
+from repro.workloads.jmeint import JMeintWorkload
+from repro.workloads.nn import NearestNeighborWorkload
+from repro.workloads.srad import SRAD1Workload, SRAD2Workload
+from repro.workloads.transpose import TransposeWorkload
+
+#: x-axis order of every figure in the paper
+PAPER_WORKLOAD_ORDER = ("JM", "BS", "DCT", "FWT", "TP", "BP", "NN", "SRAD1", "SRAD2")
+
+_REGISTRY: dict[str, Callable[..., Workload]] = {
+    "JM": JMeintWorkload,
+    "BS": BlackScholesWorkload,
+    "DCT": DCTWorkload,
+    "FWT": FastWalshTransformWorkload,
+    "TP": TransposeWorkload,
+    "BP": BackpropWorkload,
+    "NN": NearestNeighborWorkload,
+    "SRAD1": SRAD1Workload,
+    "SRAD2": SRAD2Workload,
+}
+
+
+def available_workloads() -> list[str]:
+    """Names of all benchmarks, in the paper's plotting order."""
+    return list(PAPER_WORKLOAD_ORDER)
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a benchmark by its short name (case-insensitive).
+
+    Args:
+        name: one of :func:`available_workloads`.
+        **kwargs: forwarded to the workload constructor (``scale``, ``seed``).
+    """
+    key = name.upper()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def table3_rows(scale: float | None = None) -> list[tuple[str, str, str, str, int]]:
+    """Rows of Table III (name, description, input, error metric, #AR)."""
+    rows = []
+    for name in PAPER_WORKLOAD_ORDER:
+        workload = _REGISTRY[name]() if scale is None else _REGISTRY[name](scale=scale)
+        rows.append(workload.table3_row())
+    return rows

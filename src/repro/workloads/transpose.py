@@ -1,0 +1,53 @@
+"""TP — matrix transpose (CUDA SDK).
+
+Transposes a square matrix.  The kernel itself performs no arithmetic, so the
+output error directly reflects how much the input data was degraded by the
+lossy path; the paper uses NRMSE.  The column-major read pattern is captured
+by a strided block trace (#AR = 2: the input matrix and the tile buffer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.error import nrmse_percent
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.datagen import quantize_varying, smooth_image
+
+
+class TransposeWorkload(Workload):
+    """TP: out-of-place transpose of a square matrix."""
+
+    name = "TP"
+    description = "Matrix transpose"
+    input_description = "1024×1024"
+    error_metric = "NRMSE"
+    approx_region_count = 2
+    ops_per_byte = 0.8
+
+    #: paper-scale matrix dimension
+    FULL_DIM = 1024
+
+    def generate(self) -> dict[str, Region]:
+        dim = self.scaled_dim(self.FULL_DIM, minimum=64)
+        matrix = quantize_varying(
+            smooth_image(self.rng, dim, dim, amplitude=100.0, offset=128.0, noise=2.0),
+            self.rng, 1, 9,
+        )
+        # The tile (shared-memory staging) buffer is modelled as a second,
+        # small approximable region that the kernel also streams through.
+        tile = quantize_varying(
+            smooth_image(self.rng, 32, 32, amplitude=100.0, offset=128.0, noise=2.0),
+            self.rng, 1, 9,
+        )
+        return {
+            "matrix": Region("matrix", matrix, approximable=True, stride=8),
+            "tile_buffer": Region("tile_buffer", tile, approximable=True),
+        }
+
+    def run(self, arrays: dict[str, np.ndarray]) -> WorkloadOutput:
+        transposed = np.ascontiguousarray(arrays["matrix"].T)
+        return WorkloadOutput(arrays={"transposed": transposed})
+
+    def error(self, exact: WorkloadOutput, approx: WorkloadOutput) -> float:
+        return nrmse_percent(exact["transposed"], approx["transposed"])

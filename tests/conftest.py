@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.e2mc import E2MCCompressor
+from repro.core.config import SLCConfig, SLCVariant
+from repro.core.slc import SLCCompressor
+from repro.utils.blocks import array_to_blocks
+
+
+def make_float_blocks(seed: int = 7, count: int = 96) -> list[bytes]:
+    """Blocks of locally-correlated float32 data (compressible, non-trivial)."""
+    rng = np.random.default_rng(seed)
+    values = np.cumsum(rng.normal(0.0, 0.25, size=count * 32)) + 100.0
+    # Limited precision: zero out some of the low mantissa bits.
+    values = np.round(values * 256.0) / 256.0
+    return array_to_blocks(values.astype(np.float32))
+
+
+def make_mixed_blocks(seed: int = 11, count: int = 64) -> list[bytes]:
+    """Blocks mixing zeros, small integers and floats (exercises all patterns)."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for index in range(count):
+        kind = index % 4
+        if kind == 0:
+            blocks.append(bytes(128))
+        elif kind == 1:
+            words = rng.integers(0, 256, size=32, dtype=np.uint32)
+            blocks.append(words.astype("<u4").tobytes())
+        elif kind == 2:
+            base = rng.integers(0, 2**20, dtype=np.uint32)
+            words = base + rng.integers(0, 128, size=32, dtype=np.uint32)
+            blocks.append(words.astype("<u4").tobytes())
+        else:
+            blocks.append(rng.bytes(128))
+    return blocks
+
+
+@pytest.fixture(scope="session")
+def float_blocks() -> list[bytes]:
+    """Session-wide compressible float blocks."""
+    return make_float_blocks()
+
+
+@pytest.fixture(scope="session")
+def mixed_blocks() -> list[bytes]:
+    """Session-wide mixed-pattern blocks."""
+    return make_mixed_blocks()
+
+
+@pytest.fixture(scope="session")
+def trained_e2mc(float_blocks) -> E2MCCompressor:
+    """An E2MC compressor trained on the float blocks."""
+    compressor = E2MCCompressor()
+    compressor.train(float_blocks)
+    return compressor
+
+
+@pytest.fixture(scope="session")
+def trained_slc(float_blocks) -> SLCCompressor:
+    """A TSLC-OPT compressor trained on the float blocks."""
+    slc = SLCCompressor(SLCConfig(variant=SLCVariant.OPT))
+    slc.train(float_blocks)
+    return slc
+
+
+@pytest.fixture(
+    scope="session", params=[SLCVariant.SIMP, SLCVariant.PRED, SLCVariant.OPT]
+)
+def slc_variant(request) -> SLCVariant:
+    """Parametrized over all three TSLC variants."""
+    return request.param

@@ -1,0 +1,80 @@
+"""Tests for the safe-to-approximate memory-region model."""
+
+import numpy as np
+import pytest
+
+from repro.approx import ApproxRegionRegistry, annotate_regions
+from repro.workloads.base import Region
+
+
+def test_malloc_assigns_aligned_addresses():
+    registry = ApproxRegionRegistry()
+    first = registry.malloc("a", 100, safe_to_approx=True)
+    second = registry.malloc("b", 200)
+    assert first.base_address == 0
+    assert second.base_address % 128 == 0
+    assert second.base_address >= first.end_address
+    assert len(registry) == 2
+
+
+def test_malloc_validation():
+    registry = ApproxRegionRegistry()
+    with pytest.raises(ValueError):
+        registry.malloc("bad", 0)
+    with pytest.raises(ValueError):
+        registry.malloc("bad", 10, alignment=0)
+
+
+def test_safety_queries():
+    registry = ApproxRegionRegistry(default_threshold_bytes=16)
+    safe = registry.malloc("safe", 256, safe_to_approx=True)
+    unsafe = registry.malloc("unsafe", 256, safe_to_approx=False)
+    assert registry.is_safe_to_approx(safe.base_address)
+    assert registry.is_safe_to_approx(safe.end_address - 1)
+    assert not registry.is_safe_to_approx(unsafe.base_address)
+    assert not registry.is_safe_to_approx(10_000_000)
+    assert registry.approximable_count() == 1
+
+
+def test_per_allocation_threshold():
+    registry = ApproxRegionRegistry(default_threshold_bytes=16)
+    custom = registry.malloc("custom", 128, safe_to_approx=True, threshold_bytes=8)
+    default = registry.malloc("default", 128, safe_to_approx=True)
+    unsafe = registry.malloc("unsafe", 128)
+    assert registry.threshold_for(custom.base_address) == 8
+    assert registry.threshold_for(default.base_address) == 16
+    assert registry.threshold_for(unsafe.base_address) == 0
+    assert registry.threshold_for(99_999_999) == 0
+
+
+def test_free_removes_allocation():
+    registry = ApproxRegionRegistry()
+    allocation = registry.malloc("a", 64, safe_to_approx=True)
+    registry.free(allocation)
+    assert registry.find(allocation.base_address) is None
+    assert len(registry) == 0
+
+
+def test_allocation_validation():
+    from repro.approx.regions import ApproxAllocation
+
+    with pytest.raises(ValueError):
+        ApproxAllocation("x", 0, 0)
+    with pytest.raises(ValueError):
+        ApproxAllocation("x", -1, 10)
+    with pytest.raises(ValueError):
+        ApproxAllocation("x", 0, 10, threshold_bytes=-1)
+
+
+def test_annotate_regions_mirrors_workload_flags():
+    regions = {
+        "data": Region("data", np.zeros(64, dtype=np.float32), approximable=True),
+        "output": Region("output", np.zeros(64, dtype=np.float32), approximable=False),
+    }
+    registry = annotate_regions(regions, threshold_bytes=16)
+    assert len(registry) == 2
+    assert registry.approximable_count() == 1
+    allocations = {a.name: a for a in registry.allocations()}
+    assert allocations["data"].safe_to_approx
+    assert not allocations["output"].safe_to_approx
+    assert allocations["data"].threshold_bytes == 16

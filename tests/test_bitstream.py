@@ -1,0 +1,119 @@
+"""Tests for the bit-level writer/reader."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitstream import BitReader, BitWriter
+
+
+def test_write_and_read_single_field():
+    writer = BitWriter()
+    writer.write(0b1011, 4)
+    reader = BitReader(writer.getvalue(), bit_length=4)
+    assert reader.read(4) == 0b1011
+
+
+def test_write_multiple_fields_msb_first():
+    writer = BitWriter()
+    writer.write(1, 1)
+    writer.write(0, 2)
+    writer.write(0b101, 3)
+    assert writer.bit_length == 6
+    reader = BitReader(writer.getvalue(), bit_length=6)
+    assert reader.read(1) == 1
+    assert reader.read(2) == 0
+    assert reader.read(3) == 0b101
+
+
+def test_value_too_large_for_width_raises():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write(8, 3)
+
+
+def test_negative_value_raises():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write(-1, 4)
+
+
+def test_negative_width_raises():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write(0, -1)
+
+
+def test_zero_width_writes_nothing():
+    writer = BitWriter()
+    writer.write(0, 0)
+    assert writer.bit_length == 0
+
+
+def test_write_bits_raw_list():
+    writer = BitWriter()
+    writer.write_bits([1, 0, 1, 1])
+    assert writer.bits() == [1, 0, 1, 1]
+
+
+def test_write_bits_rejects_non_binary():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write_bits([2])
+
+
+def test_getvalue_pads_final_byte_with_zeros():
+    writer = BitWriter()
+    writer.write(0b1, 1)
+    assert writer.getvalue() == bytes([0b1000_0000])
+
+
+def test_reader_eof_raises():
+    reader = BitReader(b"\xff", bit_length=3)
+    reader.read(3)
+    with pytest.raises(EOFError):
+        reader.read(1)
+
+
+def test_reader_bit_length_longer_than_data_raises():
+    with pytest.raises(ValueError):
+        BitReader(b"\xff", bit_length=9)
+
+
+def test_reader_peek_does_not_consume():
+    reader = BitReader(b"\xa5")
+    assert reader.peek(4) == 0xA
+    assert reader.position == 0
+    assert reader.read(8) == 0xA5
+
+
+def test_reader_from_bit_list():
+    reader = BitReader([1, 0, 1])
+    assert reader.read(3) == 0b101
+    assert reader.remaining == 0
+
+
+def test_read_bit_helper():
+    reader = BitReader(b"\x80")
+    assert reader.read_bit() == 1
+    assert reader.read_bit() == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**20), st.integers(1, 24)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_roundtrip_arbitrary_fields(fields):
+    """Property: any sequence of (value, width) fields round-trips."""
+    writer = BitWriter()
+    normalized = []
+    for value, width in fields:
+        value = value & ((1 << width) - 1)
+        writer.write(value, width)
+        normalized.append((value, width))
+    reader = BitReader(writer.getvalue(), bit_length=writer.bit_length)
+    for value, width in normalized:
+        assert reader.read(width) == value
+    assert reader.remaining == 0

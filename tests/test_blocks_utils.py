@@ -1,0 +1,92 @@
+"""Tests for array/block/symbol conversion helpers and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.blocks import (
+    array_to_blocks,
+    block_to_symbols,
+    blocks_to_array,
+    bytes_to_words,
+    symbols_to_block,
+    words_to_bytes,
+)
+from repro.utils.sampling import sample_evenly
+
+
+def test_array_to_blocks_pads_last_block():
+    array = np.arange(40, dtype=np.float32)  # 160 bytes -> 2 blocks
+    blocks = array_to_blocks(array, block_size=128)
+    assert len(blocks) == 2
+    assert all(len(block) == 128 for block in blocks)
+    assert blocks[1][32:] == bytes(96)
+
+
+def test_array_blocks_roundtrip():
+    array = np.arange(100, dtype=np.float32).reshape(10, 10)
+    blocks = array_to_blocks(array)
+    rebuilt = blocks_to_array(blocks, array.dtype, array.shape)
+    np.testing.assert_array_equal(rebuilt, array)
+
+
+def test_blocks_to_array_insufficient_data_raises():
+    with pytest.raises(ValueError):
+        blocks_to_array([bytes(128)], np.float32, (1000,))
+
+
+def test_array_to_blocks_invalid_block_size():
+    with pytest.raises(ValueError):
+        array_to_blocks(np.zeros(4, dtype=np.float32), block_size=0)
+
+
+def test_block_to_symbols_little_endian():
+    block = (0x0201).to_bytes(2, "little") + (0xFFEE).to_bytes(2, "little")
+    assert block_to_symbols(block) == [0x0201, 0xFFEE]
+
+
+def test_symbols_roundtrip():
+    block = bytes(range(128))
+    assert symbols_to_block(block_to_symbols(block)) == block
+
+
+def test_block_to_symbols_bad_length():
+    with pytest.raises(ValueError):
+        block_to_symbols(b"\x00\x01\x02", symbol_bytes=2)
+
+
+def test_symbols_to_block_range_check():
+    with pytest.raises(ValueError):
+        symbols_to_block([1 << 16])
+
+
+def test_words_roundtrip():
+    block = bytes(range(64)) * 2
+    assert words_to_bytes(bytes_to_words(block)) == block
+
+
+def test_sample_evenly_returns_all_when_small():
+    assert sample_evenly([1, 2, 3], 10) == [1, 2, 3]
+
+
+def test_sample_evenly_limits_count():
+    samples = sample_evenly(list(range(1000)), 100)
+    assert len(samples) == 100
+    assert samples[0] == 0
+    assert samples == sorted(samples)
+
+
+def test_sample_evenly_rejects_bad_target():
+    with pytest.raises(ValueError):
+        sample_evenly([1, 2], 0)
+
+
+@given(st.integers(1, 400), st.integers(1, 64))
+def test_array_to_blocks_covers_all_bytes(n_elements, block_elems):
+    """Property: every byte of the array appears in the blocks, in order."""
+    array = np.arange(n_elements, dtype=np.int32)
+    block_size = block_elems * 4
+    blocks = array_to_blocks(array, block_size=block_size)
+    joined = b"".join(blocks)
+    assert joined[: array.nbytes] == array.tobytes()
+    assert len(joined) % block_size == 0

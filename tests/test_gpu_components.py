@@ -1,0 +1,265 @@
+"""Tests for the GPU substrate: config, cache, DRAM, interconnect, SM, energy."""
+
+import pytest
+
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import GPUConfig, LatencyConfig
+from repro.gpu.dram import DRAMChannel, GDDR5Timing
+from repro.gpu.energy import EnergyModel, EnergyParameters
+from repro.gpu.interconnect import Interconnect
+from repro.gpu.sm import SMCluster
+from repro.gpu.trace import AccessType, MemoryAccess, MemoryTrace
+
+
+# --------------------------------------------------------------------- #
+# configuration (Table II)
+
+
+def test_default_config_matches_table2():
+    config = GPUConfig()
+    assert config.num_sms == 16
+    assert config.sm_freq_mhz == 822.0
+    assert config.l2_cache_kb == 768
+    assert config.num_memory_controllers == 6
+    assert config.memory_clock_mhz == 1002.0
+    assert config.bus_width_bits == 32
+    assert config.burst_length == 8
+
+
+def test_mag_derived_from_bus_and_burst():
+    config = GPUConfig()
+    assert config.mag_bytes == 32
+    assert config.bursts_per_block == 4
+    wider = config.scaled(bus_width_bits=64)
+    assert wider.mag_bytes == 64
+
+
+def test_bandwidth_derivations():
+    config = GPUConfig()
+    assert config.bandwidth_bytes_per_sec == pytest.approx(192.4e9)
+    assert config.bandwidth_per_controller == pytest.approx(192.4e9 / 6)
+    assert config.l2_num_lines == 768 * 1024 // 128
+
+
+def test_table2_rows_contains_every_field():
+    rows = dict(GPUConfig().table2_rows())
+    assert rows["#SMs"] == "16"
+    assert rows["Memory bandwidth"] == "192.4 GB/s"
+    assert rows["Burst length"] == "8"
+    assert len(rows) == 14
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GPUConfig(num_sms=0)
+    with pytest.raises(ValueError):
+        GPUConfig(sm_freq_mhz=0)
+
+
+def test_scaled_preserves_other_fields():
+    config = GPUConfig().scaled(l2_cache_kb=256)
+    assert config.l2_cache_kb == 256
+    assert config.num_sms == 16
+
+
+def test_latency_config_defaults_match_paper():
+    latency = LatencyConfig()
+    assert latency.e2mc_compress_cycles == 46
+    assert latency.e2mc_decompress_cycles == 20
+    assert latency.tslc_compress_cycles == 60
+    assert latency.tslc_decompress_cycles == 20
+
+
+# --------------------------------------------------------------------- #
+# trace
+
+
+def test_trace_streaming_and_counters():
+    trace = MemoryTrace()
+    trace.add_stream("a", 4, AccessType.READ, passes=2)
+    trace.add_stream("b", 2, AccessType.WRITE)
+    assert trace.total_accesses == 10
+    assert trace.read_accesses == 8
+    assert trace.write_accesses == 2
+    assert trace.regions() == ["a", "b"]
+
+
+def test_trace_strided_stream_covers_all_blocks():
+    trace = MemoryTrace()
+    trace.add_stream("m", 10, stride=3)
+    visited = [a.block_index for a in trace]
+    assert sorted(visited) == list(range(10))
+    assert visited != list(range(10))  # actually strided
+
+
+def test_memory_access_validation():
+    with pytest.raises(ValueError):
+        MemoryAccess("r", -1)
+    with pytest.raises(ValueError):
+        MemoryAccess("r", 0, count=0)
+    with pytest.raises(ValueError):
+        MemoryTrace().add_stream("r", 0)
+
+
+# --------------------------------------------------------------------- #
+# cache
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(1000, line_bytes=128, ways=16)
+    with pytest.raises(ValueError):
+        SetAssociativeCache(0)
+
+
+def test_cache_hit_after_miss():
+    cache = SetAssociativeCache(16 * 1024)
+    assert cache.access(5) is False
+    assert cache.access(5) is True
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_cache_lru_eviction_within_set():
+    cache = SetAssociativeCache(2 * 128 * 2, line_bytes=128, ways=2)  # 2 sets, 2 ways
+    # addresses 0, 2, 4 all map to set 0
+    cache.access(0)
+    cache.access(2)
+    cache.access(0)      # 0 becomes MRU
+    cache.access(4)      # evicts 2
+    assert cache.contains(0)
+    assert not cache.contains(2)
+    assert cache.stats.evictions == 1
+
+
+def test_cache_dirty_eviction_counts_writeback():
+    cache = SetAssociativeCache(2 * 128 * 1, line_bytes=128, ways=1)  # 2 sets, direct
+    cache.access(0, is_write=True)
+    cache.access(2)  # evicts dirty line 0
+    assert cache.stats.writebacks == 1
+
+
+def test_cache_flush_writes_back_dirty_lines():
+    cache = SetAssociativeCache(16 * 1024)
+    cache.access(1, is_write=True)
+    cache.access(2)
+    assert cache.flush() == 1
+    assert cache.occupancy == 0
+
+
+def test_cache_negative_address_rejected():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(16 * 1024).access(-1)
+
+
+# --------------------------------------------------------------------- #
+# DRAM
+
+
+def test_dram_row_hit_vs_miss_cycles():
+    channel = DRAMChannel()
+    first = channel.service(0, 4)       # row miss: activate + 4 bursts
+    second = channel.service(128, 4)    # same row: just 4 bursts
+    assert first > second
+    assert channel.stats.row_hits == 1
+    assert channel.stats.row_misses == 1
+    assert channel.stats.bursts == 8
+    assert channel.stats.bytes_transferred == 8 * 32
+
+
+def test_dram_row_conflict_pays_precharge():
+    timing = GDDR5Timing()
+    channel = DRAMChannel(timing)
+    channel.service(0, 1)
+    conflict = channel.service(timing.row_bytes * timing.num_banks, 1)  # same bank, new row
+    assert conflict == timing.t_rp + timing.t_rcd + timing.burst_cycles
+
+
+def test_dram_busy_cycles_accumulate():
+    channel = DRAMChannel()
+    total = sum(channel.service(i * 128, 2) for i in range(10))
+    assert channel.busy_cycles == total
+
+
+def test_dram_rejects_zero_bursts():
+    with pytest.raises(ValueError):
+        DRAMChannel().service(0, 0)
+
+
+def test_dram_reset_rows_forces_miss():
+    channel = DRAMChannel()
+    channel.service(0, 1)
+    channel.reset_rows()
+    channel.service(0, 1)
+    assert channel.stats.row_misses == 2
+
+
+# --------------------------------------------------------------------- #
+# interconnect, SM, energy
+
+
+def test_interconnect_flit_accounting():
+    interconnect = Interconnect(flit_bytes=32)
+    assert interconnect.transfer(128) == 4
+    assert interconnect.transfer(1) == 1
+    assert interconnect.stats.messages == 2
+    assert interconnect.occupancy_cycles() > 0
+    assert interconnect.round_trip_latency() == 24
+    with pytest.raises(ValueError):
+        interconnect.transfer(-1)
+
+
+def test_sm_cluster_compute_cycles():
+    cluster = SMCluster(GPUConfig(), efficiency=0.5)
+    ops_per_cycle = cluster.sustained_ops_per_cycle
+    assert cluster.compute_cycles(ops_per_cycle * 100) == pytest.approx(100)
+    assert cluster.concurrency() == 16 * 1536
+    with pytest.raises(ValueError):
+        cluster.compute_cycles(-1)
+
+
+def test_sm_cluster_validation():
+    with pytest.raises(ValueError):
+        SMCluster(GPUConfig(), efficiency=0.0)
+    with pytest.raises(ValueError):
+        SMCluster(GPUConfig(), lanes_per_sm=0)
+
+
+def test_energy_breakdown_components():
+    model = EnergyModel()
+    breakdown = model.evaluate(
+        exec_time_s=1e-3,
+        compute_ops=1e9,
+        l2_accesses=1_000_000,
+        dram_bursts=100_000,
+        dram_row_misses=10_000,
+        compressed_blocks=1000,
+        decompressed_blocks=1000,
+    )
+    assert breakdown.total_j == pytest.approx(
+        breakdown.constant_j
+        + breakdown.compute_j
+        + breakdown.l2_j
+        + breakdown.dram_j
+        + breakdown.compression_j
+    )
+    assert breakdown.constant_j == pytest.approx(0.08)
+    assert 0 < breakdown.dram_fraction < 1
+    assert breakdown.edp(1e-3) == pytest.approx(breakdown.total_j * 1e-3)
+
+
+def test_energy_scales_with_bursts():
+    model = EnergyModel()
+    few = model.evaluate(1e-3, 1e9, 0, 10_000, 0)
+    many = model.evaluate(1e-3, 1e9, 0, 20_000, 0)
+    assert many.dram_j == pytest.approx(2 * few.dram_j)
+
+
+def test_energy_rejects_negative_time():
+    with pytest.raises(ValueError):
+        EnergyModel().evaluate(-1.0, 0, 0, 0, 0)
+
+
+def test_energy_custom_parameters():
+    params = EnergyParameters(constant_power_w=10.0)
+    breakdown = EnergyModel(params).evaluate(1.0, 0, 0, 0, 0)
+    assert breakdown.constant_j == pytest.approx(10.0)

@@ -1,0 +1,88 @@
+"""Tests for the analytic hardware cost model (Table I)."""
+
+import pytest
+
+from repro.hardware import (
+    E2MC_REFERENCE,
+    GTX580_REFERENCE,
+    GateCount,
+    GateLibrary,
+    overhead_summary,
+    synthesize_tslc_compressor,
+    synthesize_tslc_decompressor,
+    table1,
+)
+
+
+def test_gate_count_accumulation():
+    count = GateCount(GateLibrary())
+    count.add_adder(8)
+    count.add_registers(16)
+    count.add_comparator(8, count=2)
+    count.add_mux(4, inputs=4)
+    count.add_priority_encoder(16)
+    count.add_raw_gates(10)
+    assert count.gates > 0
+    assert count.area_mm2() == pytest.approx(count.gates * 1.0e-6)
+    assert count.power_mw(1.0) > 0
+
+
+def test_gate_count_power_validation():
+    count = GateCount(GateLibrary())
+    count.add_raw_gates(100)
+    with pytest.raises(ValueError):
+        count.power_mw(0.0)
+    with pytest.raises(ValueError):
+        count.power_mw(1.0, activity=0.0)
+
+
+def test_compressor_synthesis_in_table1_range():
+    result = synthesize_tslc_compressor()
+    # The paper reports 0.0083 mm^2 / 1.62 mW at 1.43 GHz; the analytic model
+    # should land in the same order of magnitude.
+    assert 0.003 < result.area_mm2 < 0.03
+    assert 0.3 < result.power_mw < 6.0
+    assert 0.7 < result.frequency_ghz < 2.5
+
+
+def test_decompressor_synthesis_much_smaller_than_compressor():
+    compressor = synthesize_tslc_compressor()
+    decompressor = synthesize_tslc_decompressor()
+    assert decompressor.area_mm2 < compressor.area_mm2 / 5
+    assert decompressor.power_mw < compressor.power_mw
+    assert decompressor.frequency_ghz <= 0.8 + 1e-9
+
+
+def test_compressor_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        synthesize_tslc_compressor(n_symbols=60)
+
+
+def test_table1_has_both_units():
+    results = table1()
+    assert set(results) == {"compressor", "decompressor"}
+    assert results["compressor"].unit == "tslc-compressor"
+
+
+def test_overhead_negligible_vs_gtx580():
+    summary = overhead_summary()
+    # Section III-H: 0.0015 % of area and 0.0008 % of power of a GTX580.
+    assert summary["area_percent_of_gtx580"] < 0.02
+    assert summary["power_percent_of_gtx580"] < 0.02
+    assert summary["area_percent_of_e2mc"] < 25.0
+
+
+def test_percent_helpers():
+    result = synthesize_tslc_compressor()
+    assert result.area_percent_of(GTX580_REFERENCE) == pytest.approx(
+        result.area_mm2 / 520.0 * 100.0
+    )
+    assert result.power_percent_of(E2MC_REFERENCE) > 0
+
+
+def test_extra_nodes_increase_area():
+    plain = synthesize_tslc_compressor(extra_nodes={})
+    optimized = synthesize_tslc_compressor(extra_nodes={2: 8, 3: 4})
+    assert optimized.area_mm2 > plain.area_mm2
+    # ... but only slightly (the paper: TSLC is 5.6 % of E2MC in total)
+    assert optimized.area_mm2 < plain.area_mm2 * 1.3

@@ -1,0 +1,86 @@
+"""Tests for the error and performance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bandwidth_reduction_percent,
+    edp_reduction_percent,
+    energy_reduction_percent,
+    image_diff_percent,
+    mean_relative_error_percent,
+    miss_rate_percent,
+    normalized_metric,
+    nrmse_percent,
+    speedup,
+    summarize_geomean,
+)
+
+
+def test_mre_zero_for_identical():
+    data = np.linspace(1, 10, 50)
+    assert mean_relative_error_percent(data, data) == 0.0
+
+
+def test_mre_simple_case():
+    assert mean_relative_error_percent([100.0], [90.0]) == pytest.approx(10.0)
+
+
+def test_mre_clips_unbounded_outliers():
+    assert mean_relative_error_percent([1e-9], [1.0]) <= 100.0
+
+
+def test_mre_empty_is_zero():
+    assert mean_relative_error_percent([], []) == 0.0
+
+
+def test_mre_shape_mismatch():
+    with pytest.raises(ValueError):
+        mean_relative_error_percent([1, 2], [1, 2, 3])
+
+
+def test_nrmse_normalized_by_range():
+    exact = np.array([0.0, 10.0])
+    approx = np.array([1.0, 10.0])
+    # rmse = sqrt(0.5), range = 10
+    assert nrmse_percent(exact, approx) == pytest.approx(np.sqrt(0.5) / 10 * 100)
+
+
+def test_nrmse_constant_signal_does_not_divide_by_zero():
+    assert nrmse_percent([5.0, 5.0], [5.0, 5.0]) == 0.0
+    assert np.isfinite(nrmse_percent([5.0, 5.0], [6.0, 6.0]))
+
+
+def test_image_diff_is_nrmse():
+    exact = np.arange(16, dtype=float).reshape(4, 4)
+    approx = exact + 1.0
+    assert image_diff_percent(exact, approx) == pytest.approx(nrmse_percent(exact, approx))
+
+
+def test_miss_rate():
+    assert miss_rate_percent([True, False, True, False], [True, True, True, False]) == 25.0
+    assert miss_rate_percent([], []) == 0.0
+    with pytest.raises(ValueError):
+        miss_rate_percent([True], [True, False])
+
+
+def test_speedup_and_normalized():
+    assert speedup(2.0, 1.0) == 2.0
+    assert normalized_metric(0.8, 1.0) == 0.8
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+    with pytest.raises(ZeroDivisionError):
+        normalized_metric(1.0, 0.0)
+
+
+def test_reduction_percentages():
+    assert bandwidth_reduction_percent(100, 86) == pytest.approx(14.0)
+    assert energy_reduction_percent(100, 91.7) == pytest.approx(8.3)
+    assert edp_reduction_percent(100, 82.5) == pytest.approx(17.5)
+    with pytest.raises(ValueError):
+        bandwidth_reduction_percent(0, 10)
+
+
+def test_summarize_geomean():
+    values = {"a": 1.1, "b": 1.1, "c": 1.1}
+    assert summarize_geomean(values) == pytest.approx(1.1)

@@ -1,0 +1,178 @@
+"""Tests for the value predictor, the block header and the metadata cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.header import SLCHeader, header_size_bits, pdp_pointer_bits
+from repro.core.metadata_cache import MetadataCache
+from repro.core.prediction import predict_truncated_symbols, predictor_symbol_index
+
+
+# --------------------------------------------------------------------- #
+# prediction
+
+
+def test_zero_fill_for_simp():
+    symbols = list(range(8))
+    kept = symbols[:2] + symbols[6:]
+    rebuilt = predict_truncated_symbols(kept, 2, 4, 8, use_prediction=False)
+    assert rebuilt == [0, 1, 0, 0, 0, 0, 6, 7]
+
+
+def test_lane_aware_prediction_uses_same_offset():
+    # elements are (low, high) pairs; low lanes are even indices
+    symbols = [10, 11, 20, 21, 30, 31, 40, 41]
+    kept = symbols[:2] + symbols[6:]
+    rebuilt = predict_truncated_symbols(kept, 2, 4, 8, use_prediction=True)
+    assert rebuilt == [10, 11, 10, 11, 10, 11, 40, 41]
+
+
+def test_prediction_run_at_block_start_uses_following_element():
+    symbols = [10, 11, 20, 21, 30, 31, 40, 41]
+    kept = symbols[4:]
+    rebuilt = predict_truncated_symbols(kept, 0, 4, 8, use_prediction=True)
+    assert rebuilt == [30, 31, 30, 31, 30, 31, 40, 41]
+
+
+def test_prediction_single_lane_mode():
+    symbols = [5, 6, 7, 8]
+    kept = [5, 8]
+    rebuilt = predict_truncated_symbols(
+        kept, 1, 2, 4, use_prediction=True, element_symbols=1
+    )
+    assert rebuilt == [5, 5, 5, 8]
+
+
+def test_prediction_empty_run_is_identity():
+    assert predict_truncated_symbols([1, 2, 3, 4], 0, 0, 4, True) == [1, 2, 3, 4]
+
+
+def test_prediction_validation_errors():
+    with pytest.raises(ValueError):
+        predict_truncated_symbols([1, 2], 3, 4, 4, True)
+    with pytest.raises(ValueError):
+        predict_truncated_symbols([1, 2, 3], 0, 2, 4, True)
+
+
+def test_predictor_index_prefers_preceding_same_lane():
+    assert predictor_symbol_index(4, 4, 2, 8) == 2
+    assert predictor_symbol_index(5, 4, 2, 8) == 3
+    assert predictor_symbol_index(0, 0, 2, 8) == 2
+    assert predictor_symbol_index(1, 0, 2, 8) == 3
+
+
+def test_predictor_index_all_truncated_returns_none():
+    assert predictor_symbol_index(0, 0, 8, 8) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(0, 65535), min_size=64, max_size=64),
+    st.sampled_from([2, 4, 8, 16]),
+    st.integers(0, 62),
+    st.booleans(),
+)
+def test_prediction_preserves_kept_symbols(symbols, count, start, use_prediction):
+    """Property: non-truncated symbols are reconstructed exactly."""
+    start = min(start - start % 2, 64 - count)
+    kept = symbols[:start] + symbols[start + count:]
+    rebuilt = predict_truncated_symbols(kept, start, count, 64, use_prediction)
+    assert len(rebuilt) == 64
+    assert rebuilt[:start] == symbols[:start]
+    assert rebuilt[start + count:] == symbols[start + count:]
+
+
+# --------------------------------------------------------------------- #
+# header
+
+
+def test_header_sizes():
+    assert pdp_pointer_bits(128) == 7
+    assert header_size_bits(False) == 1 + 3 * 7
+    assert header_size_bits(True) == 1 + 6 + 4 + 3 * 7
+
+
+def test_header_pack_unpack_lossless():
+    header = SLCHeader(lossy=False, pdp=(10, 20, 30))
+    rebuilt = SLCHeader.unpack(header.pack())
+    assert not rebuilt.lossy
+    assert rebuilt.pdp == (10, 20, 30)
+
+
+def test_header_pack_unpack_lossy():
+    header = SLCHeader(lossy=True, approx_start=42, approx_count=16, pdp=(1, 2, 3))
+    rebuilt = SLCHeader.unpack(header.pack())
+    assert rebuilt.lossy
+    assert rebuilt.approx_start == 42
+    assert rebuilt.approx_count == 16
+    assert rebuilt.pdp == (1, 2, 3)
+
+
+def test_header_validation():
+    with pytest.raises(ValueError):
+        SLCHeader(lossy=True, approx_count=0)
+    with pytest.raises(ValueError):
+        SLCHeader(lossy=False, approx_count=2)
+    with pytest.raises(ValueError):
+        SLCHeader(lossy=True, approx_start=64, approx_count=1)
+    with pytest.raises(ValueError):
+        SLCHeader(lossy=False, pdp=(1, 2, 3, 4))
+
+
+def test_header_size_matches_pack_length():
+    header = SLCHeader(lossy=True, approx_start=3, approx_count=4)
+    assert len(header.pack()) == (header.size_bits + 7) // 8
+
+
+# --------------------------------------------------------------------- #
+# metadata cache
+
+
+def test_mdc_miss_then_hit():
+    mdc = MetadataCache(capacity_entries=4)
+    assert mdc.lookup(100) is None
+    mdc.update(100, 2)
+    assert mdc.lookup(100) == 2
+    assert mdc.stats.hits == 1
+    assert mdc.stats.misses == 1
+
+
+def test_mdc_conservative_fetch_on_miss():
+    mdc = MetadataCache(capacity_entries=4)
+    assert mdc.bursts_to_fetch(55) == 4
+    mdc.update(55, 1)
+    assert mdc.bursts_to_fetch(55) == 1
+
+
+def test_mdc_lru_eviction():
+    mdc = MetadataCache(capacity_entries=2)
+    mdc.update(1, 1)
+    mdc.update(2, 2)
+    mdc.lookup(1)          # make 1 most recent
+    mdc.update(3, 3)       # evicts 2
+    assert mdc.lookup(2) is None
+    assert mdc.lookup(1) == 1
+    assert mdc.stats.evictions == 1
+
+
+def test_mdc_rejects_invalid_burst_counts():
+    mdc = MetadataCache()
+    with pytest.raises(ValueError):
+        mdc.update(1, 0)
+    with pytest.raises(ValueError):
+        mdc.update(1, 5)
+
+
+def test_mdc_entry_bits_and_size():
+    mdc = MetadataCache(capacity_entries=8192, max_bursts=4)
+    assert mdc.entry_bits == 2
+    assert mdc.size_bytes == 8192 * 2 / 8
+
+
+def test_mdc_flush_keeps_stats():
+    mdc = MetadataCache()
+    mdc.update(1, 2)
+    mdc.lookup(1)
+    mdc.flush()
+    assert len(mdc) == 0
+    assert mdc.stats.hits == 1

@@ -1,0 +1,295 @@
+"""Tests for the SLC compressor: mode decisions, invariants and round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.base import CompressionError
+from repro.core import SLCCompressor, SLCConfig, SLCMode, SLCVariant
+from repro.core.header import header_size_bits
+from repro.utils.blocks import block_to_symbols, symbols_to_block
+from tests.conftest import make_float_blocks
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SLCConfig(mag_bytes=48)
+    with pytest.raises(ValueError):
+        SLCConfig(lossy_threshold_bytes=64)
+    with pytest.raises(ValueError):
+        SLCConfig(block_size_bytes=0)
+    with pytest.raises(ValueError):
+        SLCConfig(symbol_bytes=3)
+    with pytest.raises(ValueError):
+        SLCConfig(max_approx_symbols=0)
+
+
+def test_config_derived_properties():
+    config = SLCConfig()
+    assert config.symbols_per_block == 64
+    assert config.element_symbols == 2
+    assert config.max_bursts == 4
+    assert config.mag_bits == 256
+    assert config.lossy_threshold_bits == 128
+    assert config.uses_prediction
+    assert config.uses_optimized_tree
+
+
+def test_config_with_variant_and_mag():
+    config = SLCConfig()
+    simp = config.with_variant(SLCVariant.SIMP)
+    assert simp.variant is SLCVariant.SIMP
+    assert not simp.uses_prediction
+    mag64 = config.with_mag(64)
+    assert mag64.mag_bytes == 64
+    assert mag64.lossy_threshold_bytes == 32
+
+
+def test_bit_budget_boundaries(trained_slc):
+    config = trained_slc.config
+    assert trained_slc.bit_budget(10) == config.mag_bits
+    assert trained_slc.bit_budget(256) == 256
+    assert trained_slc.bit_budget(700) == 512
+    assert trained_slc.bit_budget(1023) == 768
+    assert trained_slc.bit_budget(2000) == config.block_size_bits
+
+
+def test_untrained_slc_stores_uncompressed():
+    slc = SLCCompressor()
+    result = slc.compress(bytes(128))
+    assert result.mode is SLCMode.UNCOMPRESSED
+    assert result.bursts == 4
+    assert slc.decompress(result) == bytes(128)
+
+
+def test_wrong_block_size_rejected(trained_slc):
+    with pytest.raises(CompressionError):
+        trained_slc.compress(bytes(64))
+    with pytest.raises(CompressionError):
+        trained_slc.analyze(bytes(64))
+
+
+def test_random_block_uncompressed(trained_slc):
+    block = np.random.default_rng(0).bytes(128)
+    decision = trained_slc.analyze(block)
+    assert decision.mode is SLCMode.UNCOMPRESSED
+    assert decision.bursts == 4
+
+
+def test_lossless_roundtrip_is_exact(trained_slc, float_blocks):
+    for block in float_blocks[:32]:
+        result = trained_slc.compress(block, approximable=False)
+        assert result.mode in (SLCMode.LOSSLESS, SLCMode.UNCOMPRESSED)
+        assert trained_slc.decompress(result) == block
+
+
+def test_not_approximable_never_lossy(trained_slc, float_blocks):
+    for block in float_blocks:
+        decision = trained_slc.analyze(block, approximable=False)
+        assert decision.mode is not SLCMode.LOSSY
+
+
+def test_some_blocks_take_lossy_path(trained_slc, float_blocks):
+    decisions = [trained_slc.analyze(block) for block in float_blocks]
+    assert any(d.mode is SLCMode.LOSSY for d in decisions)
+
+
+def test_lossy_block_fits_bit_budget(trained_slc, float_blocks):
+    for block in float_blocks:
+        decision = trained_slc.analyze(block)
+        if decision.mode is SLCMode.LOSSY:
+            assert decision.stored_size_bits <= decision.bit_budget_bits
+            assert decision.bursts == decision.bit_budget_bits // 256
+            assert decision.bits_removed >= decision.extra_bits
+
+
+def test_lossy_saves_bursts_vs_lossless(trained_slc, float_blocks):
+    from repro.compression.stats import bursts_for_size
+
+    for block in float_blocks:
+        decision = trained_slc.analyze(block)
+        if decision.mode is SLCMode.LOSSY:
+            lossless_bursts = bursts_for_size(decision.comp_size_bits / 8, 32)
+            assert decision.bursts < lossless_bursts
+
+
+def test_threshold_respected(trained_slc, float_blocks):
+    for block in float_blocks:
+        decision = trained_slc.analyze(block)
+        if decision.mode is SLCMode.LOSSY:
+            assert decision.extra_bits <= trained_slc.config.lossy_threshold_bits
+
+
+def test_zero_threshold_never_lossy(float_blocks):
+    slc = SLCCompressor(SLCConfig(lossy_threshold_bytes=0))
+    slc.train(float_blocks)
+    assert all(
+        slc.analyze(block).mode is not SLCMode.LOSSY for block in float_blocks
+    )
+
+
+def test_max_approx_symbols_respected(trained_slc, float_blocks):
+    for block in float_blocks:
+        decision = trained_slc.analyze(block)
+        assert decision.approx_count <= trained_slc.config.max_approx_symbols
+
+
+def test_analyze_matches_compress(trained_slc, float_blocks):
+    for block in float_blocks[:48]:
+        decision = trained_slc.analyze(block)
+        compressed = trained_slc.compress(block)
+        assert compressed.mode == decision.mode
+        assert compressed.bursts == decision.bursts
+        assert compressed.approx_start == decision.approx_start
+        assert compressed.approx_count == decision.approx_count
+        if decision.mode is not SLCMode.UNCOMPRESSED:
+            assert compressed.compressed_size_bits == decision.stored_size_bits
+
+
+def test_apply_decision_matches_decompress(trained_slc, float_blocks):
+    for block in float_blocks[:48]:
+        decision = trained_slc.analyze(block)
+        compressed = trained_slc.compress(block)
+        assert trained_slc.apply_decision(block, decision) == trained_slc.decompress(
+            compressed
+        )
+
+
+def test_lossy_only_changes_truncated_symbols(trained_slc, float_blocks):
+    for block in float_blocks:
+        decision = trained_slc.analyze(block)
+        if decision.mode is not SLCMode.LOSSY:
+            continue
+        degraded = trained_slc.apply_decision(block, decision)
+        original_symbols = block_to_symbols(block)
+        degraded_symbols = block_to_symbols(degraded)
+        start, count = decision.approx_start, decision.approx_count
+        assert degraded_symbols[:start] == original_symbols[:start]
+        assert degraded_symbols[start + count:] == original_symbols[start + count:]
+
+
+def test_simp_fills_with_zeros(float_blocks):
+    slc = SLCCompressor(SLCConfig(variant=SLCVariant.SIMP))
+    slc.train(float_blocks)
+    for block in float_blocks:
+        decision = slc.analyze(block)
+        if decision.mode is SLCMode.LOSSY:
+            degraded = block_to_symbols(slc.apply_decision(block, decision))
+            run = degraded[decision.approx_start:decision.approx_start + decision.approx_count]
+            assert all(symbol == 0 for symbol in run)
+            return
+    pytest.fail("no lossy block found for TSLC-SIMP")
+
+
+def test_pred_fills_with_neighbouring_values(float_blocks):
+    slc = SLCCompressor(SLCConfig(variant=SLCVariant.PRED))
+    slc.train(float_blocks)
+    checked = False
+    for block in float_blocks:
+        decision = slc.analyze(block)
+        if decision.mode is not SLCMode.LOSSY or decision.approx_start == 0:
+            continue
+        original = np.frombuffer(block, dtype=np.float32)
+        degraded = np.frombuffer(slc.apply_decision(block, decision), dtype=np.float32)
+        changed = np.flatnonzero(original != degraded)
+        if changed.size == 0:
+            continue
+        # predicted values stay within the block's value range (value similarity)
+        assert degraded[changed].min() >= original.min() - abs(original.min())
+        checked = True
+    assert checked
+
+
+def test_pred_error_not_worse_than_simp_on_average(float_blocks):
+    configs = {
+        variant: SLCCompressor(SLCConfig(variant=variant))
+        for variant in (SLCVariant.SIMP, SLCVariant.PRED)
+    }
+    for slc in configs.values():
+        slc.train(float_blocks)
+    errors = {}
+    for variant, slc in configs.items():
+        total = 0.0
+        for block in float_blocks:
+            decision = slc.analyze(block)
+            if decision.mode is not SLCMode.LOSSY:
+                continue
+            original = np.frombuffer(block, dtype=np.float32).astype(np.float64)
+            degraded = np.frombuffer(
+                slc.apply_decision(block, decision), dtype=np.float32
+            ).astype(np.float64)
+            total += float(np.mean(np.abs(original - degraded)))
+        errors[variant] = total
+    assert errors[SLCVariant.PRED] <= errors[SLCVariant.SIMP]
+
+
+def test_opt_variant_uses_extra_nodes_sometimes(float_blocks):
+    slc = SLCCompressor(SLCConfig(variant=SLCVariant.OPT))
+    slc.train(float_blocks)
+    tree = slc.build_tree(float_blocks[0])
+    assert tree.extra_node_count(2) > 0
+    assert tree.extra_node_count(3) > 0
+
+
+def test_opt_overshoot_not_worse_than_pred(float_blocks):
+    pred = SLCCompressor(SLCConfig(variant=SLCVariant.PRED))
+    opt = SLCCompressor(SLCConfig(variant=SLCVariant.OPT))
+    pred.train(float_blocks)
+    opt.train(float_blocks)
+    pred_overshoot = 0
+    opt_overshoot = 0
+    for block in float_blocks:
+        pred_decision = pred.analyze(block)
+        opt_decision = opt.analyze(block)
+        pred_overshoot += pred_decision.overshoot_bits
+        opt_overshoot += opt_decision.overshoot_bits
+    assert opt_overshoot <= pred_overshoot
+
+
+def test_lossy_header_accounted(trained_slc, float_blocks):
+    lossless_header = header_size_bits(False)
+    lossy_header = header_size_bits(True)
+    assert lossy_header > lossless_header
+    for block in float_blocks:
+        result = trained_slc.compress(block)
+        if result.mode is SLCMode.LOSSY:
+            assert result.metadata["header_bits"] == lossy_header
+            return
+    pytest.fail("no lossy block found")
+
+
+def test_roundtrip_variants(slc_variant, float_blocks):
+    slc = SLCCompressor(SLCConfig(variant=slc_variant))
+    slc.train(float_blocks)
+    for block in float_blocks[:24]:
+        result = slc.compress(block)
+        rebuilt = slc.decompress(result)
+        assert len(rebuilt) == 128
+        if result.mode is not SLCMode.LOSSY:
+            assert rebuilt == block
+
+
+def test_baseline_mismatch_rejected():
+    from repro.compression.e2mc import E2MCCompressor
+
+    with pytest.raises(CompressionError):
+        SLCCompressor(SLCConfig(), baseline=E2MCCompressor(block_size_bytes=64))
+    with pytest.raises(CompressionError):
+        SLCCompressor(SLCConfig(symbol_bytes=2), baseline=E2MCCompressor(symbol_bytes=1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 65535), min_size=64, max_size=64), st.booleans())
+def test_slc_invariants_property(trained_slc, symbols, approximable):
+    """Property: SLC never increases the burst count and stays within budget."""
+    block = symbols_to_block(symbols)
+    decision = trained_slc.analyze(block, approximable=approximable)
+    assert 1 <= decision.bursts <= 4
+    assert decision.stored_size_bits <= trained_slc.config.block_size_bits
+    if decision.mode is SLCMode.LOSSY:
+        assert approximable
+        assert decision.stored_size_bits <= decision.bit_budget_bits
+    degraded = trained_slc.apply_decision(block, decision)
+    assert len(degraded) == 128
+    if decision.mode is not SLCMode.LOSSY:
+        assert degraded == block

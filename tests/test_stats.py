@@ -1,0 +1,137 @@
+"""Tests for the MAG-aware compression-ratio accounting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.stats import (
+    CompressionStats,
+    bursts_for_size,
+    effective_compressed_bytes,
+    effective_compression_ratio,
+    extra_bytes_above_mag,
+    geometric_mean,
+    raw_compression_ratio,
+)
+
+
+def test_bursts_for_size_basic():
+    assert bursts_for_size(0) == 1
+    assert bursts_for_size(1) == 1
+    assert bursts_for_size(32) == 1
+    assert bursts_for_size(33) == 2
+    assert bursts_for_size(128) == 4
+
+
+def test_bursts_for_size_rejects_negative():
+    with pytest.raises(ValueError):
+        bursts_for_size(-1)
+    with pytest.raises(ValueError):
+        bursts_for_size(10, mag_bytes=0)
+
+
+def test_effective_size_is_mag_multiple():
+    assert effective_compressed_bytes(36) == 64
+    assert effective_compressed_bytes(64) == 64
+    assert effective_compressed_bytes(5) == 32
+
+
+def test_paper_example_36_bytes():
+    """The paper's introduction example: 36 B compressed -> 64 B fetched."""
+    raw = raw_compression_ratio(128, 36)
+    effective = effective_compression_ratio(128, 36)
+    assert raw == pytest.approx(3.56, abs=0.01)
+    assert effective == pytest.approx(2.0)
+
+
+def test_extra_bytes_above_mag():
+    assert extra_bytes_above_mag(36) == 4
+    assert extra_bytes_above_mag(64) == 0
+    assert extra_bytes_above_mag(20) == 0  # below one MAG is binned at 0
+    assert extra_bytes_above_mag(95) == 31
+
+
+def test_raw_ratio_rejects_zero():
+    with pytest.raises(ValueError):
+        raw_compression_ratio(128, 0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+
+def test_geometric_mean_rejects_empty_and_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_compression_stats_accumulation():
+    stats = CompressionStats()
+    stats.add_block(36 * 8)   # effective 64
+    stats.add_block(64 * 8)   # effective 64
+    stats.add_block(200 * 8)  # clamped to 128 (uncompressed)
+    assert stats.total_blocks == 3
+    assert stats.uncompressed_blocks == 1
+    assert stats.total_effective_bytes == 64 + 64 + 128
+    assert stats.total_bursts == 2 + 2 + 4
+    assert stats.raw_ratio == pytest.approx(3 * 128 / (36 + 64 + 128))
+    assert stats.effective_ratio == pytest.approx(3 * 128 / 256)
+
+
+def test_compression_stats_histogram_bins():
+    stats = CompressionStats()
+    stats.add_block(36 * 8)
+    stats.add_block(128 * 8)
+    histogram = stats.extra_byte_distribution()
+    assert histogram[4] == pytest.approx(0.5)
+    assert histogram[32] == pytest.approx(0.5)  # uncompressed bin
+
+
+def test_compression_stats_effective_never_exceeds_raw():
+    stats = CompressionStats()
+    for size_bytes in (10, 33, 64, 100, 127, 128):
+        stats.add_block(size_bytes * 8)
+    assert stats.effective_ratio <= stats.raw_ratio
+
+
+def test_compression_stats_merge():
+    a = CompressionStats()
+    b = CompressionStats()
+    a.add_block(40 * 8)
+    b.add_block(70 * 8)
+    merged = a.merge(b)
+    assert merged.total_blocks == 2
+    assert merged.total_effective_bytes == 64 + 96
+
+
+def test_compression_stats_merge_geometry_mismatch():
+    a = CompressionStats(mag_bytes=32)
+    b = CompressionStats(mag_bytes=64)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_compression_stats_rejects_negative():
+    with pytest.raises(ValueError):
+        CompressionStats().add_block(-1)
+
+
+@given(st.integers(0, 2048), st.sampled_from([16, 32, 64]))
+def test_effective_size_invariants(compressed_bits, mag):
+    """Property: effective size is a MAG multiple ≥ max(compressed, one MAG)."""
+    compressed_bytes = compressed_bits / 8
+    effective = effective_compressed_bytes(compressed_bytes, mag)
+    assert effective % mag == 0
+    assert effective >= mag
+    assert effective >= compressed_bytes
+    assert effective - compressed_bytes < mag or compressed_bytes < mag
+
+
+@given(st.integers(0, 128), st.sampled_from([16, 32, 64]))
+def test_extra_bytes_bounded_by_mag(compressed_bytes, mag):
+    """Property: the extra-bytes bin is always within [0, MAG)."""
+    assert 0 <= extra_bytes_above_mag(compressed_bytes, mag) < mag

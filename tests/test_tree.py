@@ -1,0 +1,152 @@
+"""Tests for the TSLC parallel adder tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tree import AdderTree
+
+
+def test_comp_size_is_sum_of_lengths():
+    lengths = [3, 5, 7, 9, 2, 4, 6, 8]
+    tree = AdderTree(lengths)
+    assert tree.comp_size_bits == sum(lengths)
+
+
+def test_requires_power_of_two_symbols():
+    with pytest.raises(ValueError):
+        AdderTree([1, 2, 3])
+    with pytest.raises(ValueError):
+        AdderTree([])
+
+
+def test_rejects_negative_lengths():
+    with pytest.raises(ValueError):
+        AdderTree([1, -1, 2, 3])
+
+
+def test_level_sums_structure():
+    lengths = [1, 2, 3, 4, 5, 6, 7, 8]
+    tree = AdderTree(lengths)
+    assert tree.n_levels == 3
+    assert tree.level_sums(1) == [3, 7, 11, 15]
+    assert tree.level_sums(2) == [10, 26]
+    assert tree.level_sums(3) == [36]
+    with pytest.raises(ValueError):
+        tree.level_sums(4)
+
+
+def test_select_lowest_level_first():
+    # One large symbol makes a level-1 pair sufficient.
+    lengths = [2, 40, 2, 2, 2, 2, 2, 2]
+    tree = AdderTree(lengths)
+    selection = tree.select_subblock(30)
+    assert selection is not None
+    assert selection.level == 1
+    assert selection.start_symbol == 0
+    assert selection.symbol_count == 2
+    assert selection.bits_removed == 42
+
+
+def test_select_first_window_priority_encoder():
+    lengths = [2, 2, 20, 20, 20, 20, 2, 2]
+    tree = AdderTree(lengths)
+    selection = tree.select_subblock(30)
+    assert selection.level == 1
+    assert selection.start_symbol == 2  # first window with sum >= 30
+
+
+def test_select_escalates_to_higher_level():
+    lengths = [4] * 8
+    tree = AdderTree(lengths)
+    selection = tree.select_subblock(20)
+    assert selection.level == 3
+    assert selection.symbol_count == 8
+    assert selection.bits_removed == 32
+
+
+def test_select_respects_max_symbols():
+    lengths = [4] * 8
+    tree = AdderTree(lengths)
+    assert tree.select_subblock(20, max_symbols=4) is None
+
+
+def test_select_returns_none_when_impossible():
+    lengths = [1] * 8
+    tree = AdderTree(lengths)
+    assert tree.select_subblock(100) is None
+
+
+def test_select_requires_positive_bits():
+    tree = AdderTree([1] * 8)
+    with pytest.raises(ValueError):
+        tree.select_subblock(0)
+
+
+def test_extra_nodes_are_staggered():
+    lengths = list(range(1, 65))
+    tree = AdderTree(lengths, extra_nodes={2: 8, 3: 4})
+    assert tree.extra_node_count(2) == 8
+    assert tree.extra_node_count(3) == 4
+    extra = [node for node in tree.nodes_at_level(2) if node.is_extra]
+    # staggered: offset by half a window (2 symbols for level 2)
+    assert all(node.start_symbol % 4 == 2 for node in extra)
+    for node in extra:
+        assert node.sum_bits == sum(lengths[node.start_symbol:node.start_symbol + 4])
+
+
+def test_extra_nodes_reduce_overshoot():
+    """The TSLC-OPT extra nodes find a tighter window in a crafted case."""
+    # Bits concentrated in symbols 2..5: the aligned level-2 windows [0..3]
+    # and [4..7] each hold only half of them, but the staggered window [2..5]
+    # holds all of them.
+    lengths = [1, 1, 30, 30, 30, 30, 1, 1] + [1] * 56
+    plain = AdderTree(lengths)
+    optimized = AdderTree(lengths, extra_nodes={2: 8})
+    required = 100
+    plain_sel = plain.select_subblock(required)
+    opt_sel = optimized.select_subblock(required)
+    assert plain_sel.symbol_count > opt_sel.symbol_count
+    assert opt_sel.used_extra_node
+    assert optimized.overshoot_bits(opt_sel, required) <= plain.overshoot_bits(
+        plain_sel, required
+    )
+
+
+def test_extra_nodes_invalid_level_rejected():
+    with pytest.raises(ValueError):
+        AdderTree([1] * 8, extra_nodes={9: 4})
+
+
+def test_nodes_at_level_cover_block():
+    lengths = [3] * 64
+    tree = AdderTree(lengths)
+    for level in range(1, tree.n_levels + 1):
+        nodes = [n for n in tree.nodes_at_level(level) if not n.is_extra]
+        covered = sum(node.symbol_count for node in nodes)
+        assert covered == 64
+        assert all(node.sum_bits == 3 * node.symbol_count for node in nodes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(1, 33), min_size=64, max_size=64),
+    st.integers(1, 200),
+    st.booleans(),
+)
+def test_selection_properties(lengths, required, optimized):
+    """Property: any selection covers the required bits with a valid window."""
+    extra = {2: 8, 3: 4} if optimized else None
+    tree = AdderTree(lengths, extra_nodes=extra)
+    selection = tree.select_subblock(required, max_symbols=16)
+    if selection is None:
+        # No window of <= 16 symbols can cover the requirement.
+        for level in (1, 2, 3, 4):
+            for node in tree.nodes_at_level(level):
+                assert node.sum_bits < required
+        return
+    assert selection.bits_removed >= required
+    assert selection.symbol_count <= 16
+    assert 0 <= selection.start_symbol <= 64 - selection.symbol_count
+    assert selection.bits_removed == sum(
+        lengths[selection.start_symbol:selection.start_symbol + selection.symbol_count]
+    )

@@ -1,0 +1,125 @@
+"""Tests for the nine benchmarks: data generation, kernels, error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    available_workloads,
+    get_workload,
+    table3_rows,
+)
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+
+SMALL_SCALE = 1.0 / 1024.0
+
+
+@pytest.fixture(scope="module", params=PAPER_WORKLOAD_ORDER)
+def workload(request):
+    return get_workload(request.param, scale=SMALL_SCALE, seed=7)
+
+
+def test_registry_order_matches_paper():
+    assert available_workloads() == list(PAPER_WORKLOAD_ORDER)
+    assert PAPER_WORKLOAD_ORDER == (
+        "JM", "BS", "DCT", "FWT", "TP", "BP", "NN", "SRAD1", "SRAD2",
+    )
+
+
+def test_registry_unknown_workload():
+    with pytest.raises(KeyError):
+        get_workload("matmul")
+
+
+def test_registry_case_insensitive():
+    assert get_workload("srad1", scale=SMALL_SCALE).name == "SRAD1"
+
+
+def test_table3_rows_structure():
+    rows = table3_rows(scale=SMALL_SCALE)
+    assert len(rows) == 9
+    by_name = {row[0]: row for row in rows}
+    assert by_name["JM"][3] == "Miss rate"
+    assert by_name["BS"][4] == 4
+    assert by_name["SRAD1"][4] == 8
+    assert by_name["SRAD2"][4] == 6
+    assert by_name["NN"][2] == "20 M records"
+
+
+def test_generate_is_deterministic(workload):
+    again = get_workload(workload.name, scale=SMALL_SCALE, seed=7)
+    regions_a = workload.__class__(scale=SMALL_SCALE, seed=7).generate()
+    regions_b = again.generate()
+    assert set(regions_a) == set(regions_b)
+    for name in regions_a:
+        np.testing.assert_array_equal(regions_a[name].array, regions_b[name].array)
+
+
+def test_generate_has_approximable_regions(workload):
+    regions = workload.generate()
+    assert regions, "workload must allocate at least one region"
+    assert any(region.approximable for region in regions.values())
+    for region in regions.values():
+        assert region.size_bytes > 0
+        assert region.num_blocks() >= 1
+
+
+def test_run_produces_outputs(workload):
+    regions = workload.generate()
+    outputs = workload.run(workload.input_arrays(regions))
+    assert outputs.names()
+    for name in outputs.names():
+        array = outputs[name]
+        assert np.all(np.isfinite(np.asarray(array, dtype=np.float64)))
+
+
+def test_error_zero_for_identical_outputs(workload):
+    regions = workload.generate()
+    outputs = workload.run(workload.input_arrays(regions))
+    assert workload.error(outputs, outputs) == pytest.approx(0.0)
+
+
+def test_error_positive_for_perturbed_inputs(workload):
+    regions = workload.generate()
+    arrays = workload.input_arrays(regions)
+    exact = workload.run(arrays)
+    perturbed = {}
+    rng = np.random.default_rng(3)
+    for name, array in arrays.items():
+        if np.issubdtype(array.dtype, np.floating):
+            noise = rng.normal(0.0, 0.05 * (np.abs(array).mean() + 1e-3), size=array.shape)
+            perturbed[name] = (array + noise).astype(array.dtype)
+        else:
+            perturbed[name] = array
+    approx = workload.run(perturbed)
+    assert workload.error(exact, approx) >= 0.0
+    assert np.isfinite(workload.error(exact, approx))
+
+
+def test_trace_covers_every_region(workload):
+    regions = workload.generate()
+    outputs = workload.run(workload.input_arrays(regions))
+    all_regions = dict(regions)
+    all_regions.update(workload.output_regions(outputs))
+    trace = workload.trace(all_regions)
+    assert set(trace.regions()) == set(all_regions)
+    for access in trace:
+        region = all_regions[access.region]
+        assert 0 <= access.block_index < region.num_blocks()
+
+
+def test_compute_ops_positive(workload):
+    regions = workload.generate()
+    assert workload.compute_ops(regions) > 0
+
+
+def test_scale_changes_input_size(workload):
+    small = workload.__class__(scale=SMALL_SCALE).generate()
+    larger = workload.__class__(scale=SMALL_SCALE * 16).generate()
+    small_bytes = sum(r.size_bytes for r in small.values())
+    larger_bytes = sum(r.size_bytes for r in larger.values())
+    assert larger_bytes > small_bytes
+
+
+def test_invalid_scale_rejected(workload):
+    with pytest.raises(ValueError):
+        workload.__class__(scale=0.0)
