@@ -7,6 +7,7 @@ nodes, plus the raw throughput of the compressor implementations.
 
 import numpy as np
 
+from repro.campaign import CampaignSpec, run_campaign
 from repro.compression import get_compressor
 from repro.core import SLCCompressor, SLCConfig, SLCMode, SLCVariant
 from repro.experiments.fig1_compression_ratio import workload_blocks
@@ -18,19 +19,31 @@ def _blocks(scale):
 
 
 def test_bench_threshold_sweep(benchmark, slc_scale):
-    """How the lossy threshold trades converted blocks for approximated bits."""
-    blocks = _blocks(slc_scale)
+    """How the lossy threshold trades converted blocks for DRAM bursts.
+
+    The sweep is a campaign grid over the threshold axis, run end-to-end
+    through the simulator (the engine the figure studies use) instead of a
+    hand-rolled loop over compressor decisions.
+    """
+    spec = CampaignSpec(
+        name="threshold-ablation",
+        workloads=("FWT",),
+        schemes=("TSLC-OPT",),
+        lossy_thresholds=(0, 4, 8, 16, 24, 32),
+        scales=(slc_scale,),
+        compute_error=False,
+    )
 
     def sweep():
-        results = {}
-        for threshold in (0, 4, 8, 16, 24, 32):
-            slc = SLCCompressor(SLCConfig(lossy_threshold_bytes=threshold))
-            slc.train(sample_evenly(blocks, 1024))
-            decisions = [slc.analyze(block) for block in blocks]
-            lossy = sum(d.mode is SLCMode.LOSSY for d in decisions)
-            bursts = sum(d.bursts for d in decisions)
-            results[threshold] = (lossy / len(blocks), bursts)
-        return results
+        outcome = run_campaign(spec)
+        outcome.raise_for_failures()
+        return {
+            job.lossy_threshold_bytes: (
+                record.result.lossy_blocks / record.result.stored_blocks,
+                record.result.total_bursts,
+            )
+            for job, record in outcome.iter_records()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()

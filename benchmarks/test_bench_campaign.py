@@ -1,0 +1,51 @@
+"""Benchmarks for the campaign engine itself.
+
+Quantifies the two properties the subsystem exists for: parallel fan-out of
+a sweep over worker processes, and the persistent content-addressed cache
+that turns a re-run of an identical campaign into pure store lookups.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+
+
+def _spec(scale: float, workloads=("BS", "NN")) -> CampaignSpec:
+    return CampaignSpec(
+        name="bench",
+        workloads=tuple(workloads),
+        schemes=("E2MC", "TSLC-OPT"),
+        scales=(scale,),
+        compute_error=False,
+    )
+
+
+def test_bench_campaign_parallel(benchmark, slc_scale):
+    """Wall-clock of a small sweep fanned out over two worker processes."""
+    spec = _spec(slc_scale)
+
+    def run():
+        outcome = run_campaign(spec, workers=2)
+        outcome.raise_for_failures()
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.n_total == 4
+    assert outcome.n_executed == 4
+    assert outcome.n_failed == 0
+
+
+def test_bench_campaign_cache_hits(benchmark, slc_scale, tmp_path):
+    """A warm re-run of an identical campaign must simulate nothing."""
+    spec = _spec(slc_scale)
+    cold = run_campaign(spec, store=ResultStore(tmp_path))
+    cold.raise_for_failures()
+    cold_time = sum(record.elapsed_s for record in cold.records.values())
+
+    def rerun():
+        return run_campaign(spec, store=ResultStore(tmp_path))
+
+    warm = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    print(f"\ncold simulation time {cold_time:.2f}s, warm run: all cached")
+    assert warm.n_cached == warm.n_total == 4
+    assert warm.n_executed == 0

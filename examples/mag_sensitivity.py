@@ -20,6 +20,13 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0 / 256.0)
     parser.add_argument("--workloads", type=str, default="")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for each MAG sweep"
+    )
+    parser.add_argument(
+        "--store", type=str, default=None,
+        help="campaign directory; re-runs serve cached cells from here",
+    )
     args = parser.parse_args()
     workloads = [w.strip().upper() for w in args.workloads.split(",") if w.strip()] or None
 
@@ -33,7 +40,12 @@ def main() -> None:
     print("  (paper: raw 1.54x; effective 1.41 / 1.31 / 1.16 for 16 / 32 / 64 B)\n")
 
     print("Fig. 9: TSLC-OPT across MAGs (threshold = MAG/2)...\n")
-    rows, studies = run_fig9(workload_names=workloads, scale=args.scale)
+    rows, studies = run_fig9(
+        workload_names=workloads,
+        scale=args.scale,
+        workers=args.workers,
+        store_dir=args.store,
+    )
     print(format_fig9(rows))
 
     print("\nGeometric-mean speedups:")

@@ -23,6 +23,13 @@ def main() -> None:
     parser.add_argument(
         "--threshold", type=int, default=16, help="lossy threshold in bytes"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the sweep"
+    )
+    parser.add_argument(
+        "--store", type=str, default=None,
+        help="campaign directory; re-runs serve cached cells from here",
+    )
     args = parser.parse_args()
     workloads = [w.strip().upper() for w in args.workloads.split(",") if w.strip()] or None
 
@@ -31,6 +38,8 @@ def main() -> None:
         workload_names=workloads,
         lossy_threshold_bytes=args.threshold,
         scale=args.scale,
+        workers=args.workers,
+        store_dir=args.store,
     )
     print(format_fig7(fig7_rows))
 

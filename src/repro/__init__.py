@@ -19,11 +19,21 @@ Compression for GPUs* (Lal, Lucas, Juurlink — DATE 2019).  It contains:
   miss rate, speedup, bandwidth, energy, EDP).
 * ``repro.approx`` — the safe-to-approximate memory-region model (the paper's
   extended ``cudaMalloc``).
+* ``repro.campaign`` — the sweep engine: declarative campaign specs expand a
+  (workload × scheme × MAG × threshold × seed) grid into content-hashed
+  jobs, a process-pool executor fans them out with per-job failure capture,
+  and a JSONL result store keyed by job hash makes re-runs free.  Driven
+  from Python or via the ``repro`` CLI (``python -m repro campaign run``).
 * ``repro.experiments`` — one module per paper table/figure that regenerates
-  the corresponding result.
+  the corresponding result.  Every figure is a campaign under the hood:
+  Figs. 7/8 are the (9 workloads × {E2MC, TSLC-SIMP/PRED/OPT}) grid at
+  threshold 16 B, Fig. 9 is one campaign per MAG ∈ {16, 32, 64} B with
+  threshold MAG/2, and :func:`repro.experiments.run_slc_study` accepts
+  ``workers=`` and ``store_dir=`` to parallelize and cache any of them.
 """
 
 from repro._version import __version__
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
 from repro.compression import (
     BDICompressor,
     BPCCompressor,
@@ -44,6 +54,9 @@ from repro.workloads import available_workloads, get_workload
 
 __all__ = [
     "__version__",
+    "CampaignSpec",
+    "ResultStore",
+    "run_campaign",
     "BDICompressor",
     "FPCCompressor",
     "CPackCompressor",

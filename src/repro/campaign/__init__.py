@@ -1,0 +1,41 @@
+"""Campaign orchestration: declarative, parallel, cacheable simulation sweeps.
+
+The experiment grids of the paper (workload × scheme × MAG × threshold ×
+seed) are expressed as a :class:`CampaignSpec`, expanded into
+content-addressed :class:`Job` descriptions, executed in parallel worker
+processes by :func:`run_campaign`, and persisted in a :class:`ResultStore`
+keyed by job hash — so re-running a figure only simulates cells that have
+never been computed.  The ``repro`` CLI (``python -m repro``) drives the
+same engine from the command line.
+"""
+
+from repro.campaign.executor import CampaignResult, run_campaign, run_jobs
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    KNOWN_SCHEMES,
+    SCHEME_VARIANTS,
+    CampaignSpec,
+    Job,
+    config_to_overrides,
+    overrides_to_config,
+)
+from repro.campaign.store import JobRecord, ResultStore
+from repro.campaign.worker import build_backend, execute_job, simulate_job
+
+__all__ = [
+    "BASELINE_SCHEME",
+    "KNOWN_SCHEMES",
+    "SCHEME_VARIANTS",
+    "CampaignSpec",
+    "Job",
+    "JobRecord",
+    "CampaignResult",
+    "ResultStore",
+    "run_campaign",
+    "run_jobs",
+    "build_backend",
+    "execute_job",
+    "simulate_job",
+    "config_to_overrides",
+    "overrides_to_config",
+]

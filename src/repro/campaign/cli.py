@@ -1,0 +1,265 @@
+"""``python -m repro`` / ``repro`` — the campaign command-line interface.
+
+Subcommands::
+
+    repro campaign run     expand a grid and simulate it (parallel, cached)
+    repro campaign status  compare the stored spec against results on disk
+    repro campaign export  flatten stored results to CSV
+    repro version          print the package version
+
+A campaign directory is self-describing: ``campaign.json`` holds the spec,
+``results.jsonl`` the content-addressed results.  Re-running ``campaign
+run`` on the same directory only simulates grid cells that are missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+
+from repro._version import __version__
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import KNOWN_SCHEMES, CampaignSpec
+from repro.campaign.store import JobRecord, ResultStore
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+
+#: flat CSV columns: job axes then headline result metrics
+EXPORT_COLUMNS = (
+    "workload",
+    "scheme",
+    "lossy_threshold_bytes",
+    "mag_bytes",
+    "scale",
+    "seed",
+    "config_overrides",
+    "status",
+    "exec_time_s",
+    "compute_time_s",
+    "memory_time_s",
+    "error_percent",
+    "total_bursts",
+    "dram_bytes",
+    "l2_hit_rate",
+    "stored_blocks",
+    "lossy_blocks",
+    "energy_j",
+    "edp",
+    "elapsed_s",
+)
+
+
+def _comma_list(raw: str) -> list[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _parse_mags(raw: str) -> tuple[int | None, ...]:
+    mags: list[int | None] = []
+    for item in _comma_list(raw):
+        mags.append(None if item.lower() in ("config", "default") else int(item))
+    return tuple(mags)
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec(
+        name=args.name,
+        workloads=tuple(w.upper() for w in _comma_list(args.workloads)),
+        schemes=tuple(_comma_list(args.schemes)),
+        lossy_thresholds=tuple(int(t) for t in _comma_list(args.thresholds)),
+        mags=_parse_mags(args.mags),
+        scales=(args.scale,),
+        seeds=tuple(int(s) for s in _comma_list(args.seeds)),
+        compute_error=not args.no_error,
+    )
+
+
+def _print_progress(record: JobRecord, done: int, total: int) -> None:
+    if record.cached:
+        detail = "cached"
+    elif record.ok:
+        detail = f"ran in {record.elapsed_s:.2f}s"
+    else:
+        detail = "FAILED"
+    print(f"[{done}/{total}] {record.job.label()}: {detail}", file=sys.stderr)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``campaign run``: expand, simulate, persist, summarize."""
+    try:
+        spec = _spec_from_args(args)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.dir)
+    store.save_spec(spec)
+    progress = None if args.quiet else _print_progress
+    outcome = run_campaign(spec, store=store, workers=args.workers, progress=progress)
+    print(
+        f"campaign '{spec.name}': {outcome.n_total} jobs — "
+        f"{outcome.n_cached} cached, {outcome.n_executed} executed, "
+        f"{outcome.n_failed} failed ({store.directory})"
+    )
+    for record in outcome.failures():
+        tail = (record.error or "").strip().splitlines()[-1:]
+        print(f"  FAILED {record.job.label()}: {tail[0] if tail else '?'}")
+    return 1 if outcome.n_failed else 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """``campaign status``: diff the saved spec against stored results."""
+    store = ResultStore(args.dir)
+    spec = store.load_spec()
+    if spec is None:
+        print(f"no campaign.json under {store.directory} "
+              f"({len(store)} results on disk)")
+        return 1
+    jobs = spec.expand()
+    ok = failed = missing = 0
+    for job in jobs:
+        # same cache policy as the executor (incl. the compute_error twin)
+        record = store.lookup(job)
+        if record is not None:
+            ok += 1
+        elif (stored := store.get(job.content_hash)) is not None and not stored.ok:
+            failed += 1
+            print(f"  FAILED {job.label()}")
+        else:
+            missing += 1
+    print(
+        f"campaign '{spec.name}': {len(jobs)} jobs — "
+        f"{ok} complete, {failed} failed, {missing} missing"
+    )
+    return 0 if (failed == 0 and missing == 0) else 1
+
+
+def _export_row(record: JobRecord) -> dict:
+    job = record.job
+    row = {
+        "workload": job.workload,
+        "scheme": job.scheme,
+        "lossy_threshold_bytes": job.lossy_threshold_bytes,
+        "mag_bytes": job.mag_bytes,
+        "scale": job.scale,
+        "seed": job.seed,
+        "config_overrides": json.dumps(dict(job.config_overrides), sort_keys=True)
+        if job.config_overrides
+        else "",
+        "status": record.status,
+        "elapsed_s": record.elapsed_s,
+    }
+    if record.result is not None:
+        result = record.result
+        row.update(
+            exec_time_s=result.exec_time_s,
+            compute_time_s=result.compute_time_s,
+            memory_time_s=result.memory_time_s,
+            error_percent=result.error_percent,
+            total_bursts=result.total_bursts,
+            dram_bytes=result.dram_bytes,
+            l2_hit_rate=result.l2_hit_rate,
+            stored_blocks=result.stored_blocks,
+            lossy_blocks=result.lossy_blocks,
+            energy_j=result.energy_j,
+            edp=result.edp,
+        )
+    return row
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """``campaign export``: flatten stored results to CSV."""
+    store = ResultStore(args.dir)
+    records = store.records()
+    handle = sys.stdout if args.csv == "-" else open(args.csv, "w", newline="")
+    try:
+        writer = csv.DictWriter(handle, fieldnames=EXPORT_COLUMNS, restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(_export_row(record))
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    if args.csv != "-":
+        print(f"wrote {len(records)} rows to {args.csv}")
+    return 0
+
+
+def cmd_version(args: argparse.Namespace) -> int:
+    """``version``: print the package version."""
+    print(__version__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLC reproduction toolkit (Lal/Lucas/Juurlink, DATE'19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    version = sub.add_parser("version", help="print the package version")
+    version.set_defaults(func=cmd_version)
+
+    campaign = sub.add_parser("campaign", help="run and inspect simulation sweeps")
+    campaign_sub = campaign.add_subparsers(dest="subcommand", required=True)
+
+    run = campaign_sub.add_parser(
+        "run", help="expand a parameter grid and simulate every missing cell"
+    )
+    run.add_argument("--dir", required=True, help="campaign directory (spec + results)")
+    run.add_argument("--name", default="campaign", help="campaign name")
+    run.add_argument(
+        "--workloads",
+        default=",".join(PAPER_WORKLOAD_ORDER),
+        help="comma-separated benchmarks (default: all nine, paper order)",
+    )
+    run.add_argument(
+        "--schemes",
+        default=",".join(KNOWN_SCHEMES),
+        help="comma-separated schemes (default: E2MC + all TSLC variants)",
+    )
+    run.add_argument(
+        "--thresholds", default="16", help="comma-separated lossy thresholds in bytes"
+    )
+    run.add_argument(
+        "--mags",
+        default="config",
+        help="comma-separated MAGs in bytes, or 'config' for the GPU default",
+    )
+    run.add_argument(
+        "--scale", type=float, default=None, help="workload input scale (default: native)"
+    )
+    run.add_argument("--seeds", default="2019", help="comma-separated RNG seeds")
+    run.add_argument("--workers", type=int, default=1, help="worker process count")
+    run.add_argument(
+        "--no-error",
+        action="store_true",
+        help="skip re-running kernels on degraded inputs (timing-only sweep)",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress per-job progress")
+    run.set_defaults(func=cmd_run)
+
+    status = campaign_sub.add_parser(
+        "status", help="compare the saved spec against results on disk"
+    )
+    status.add_argument("--dir", required=True, help="campaign directory")
+    status.set_defaults(func=cmd_status)
+
+    export = campaign_sub.add_parser("export", help="flatten stored results to CSV")
+    export.add_argument("--dir", required=True, help="campaign directory")
+    export.add_argument("--csv", default="-", help="output path, or '-' for stdout")
+    export.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (console script ``repro`` / ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Campaign executor: fan jobs out over processes, collect in order.
+
+``run_campaign`` is the one entry point: it expands a spec, serves every
+already-stored grid cell from the result store (content-hash lookup, zero
+simulation), and fans the remaining jobs out over a ``ProcessPoolExecutor``
+when ``workers > 1``.  The result exposes records in deterministic grid
+order however they completed, per-job failures are captured as error
+records instead of propagating, and every fresh result is appended to the
+store the moment it arrives, so an interrupted sweep resumes where it
+stopped.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from repro.campaign.spec import CampaignSpec, Job
+from repro.campaign.store import JobRecord, ResultStore
+from repro.campaign.worker import execute_job
+
+#: progress callback: (record, jobs done so far, total jobs)
+ProgressFn = Callable[[JobRecord, int, int], None]
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign invocation produced.
+
+    ``records`` maps job content hash to :class:`JobRecord`; ``jobs`` keeps
+    the deterministic expansion order, so iteration order is stable.
+    """
+
+    spec: CampaignSpec
+    jobs: list[Job] = field(default_factory=list)
+    records: dict[str, JobRecord] = field(default_factory=dict)
+
+    def iter_records(self) -> Iterator[tuple[Job, JobRecord]]:
+        """(job, record) pairs in grid expansion order."""
+        for job in self.jobs:
+            yield job, self.records[job.content_hash]
+
+    def record_for(self, job: Job) -> JobRecord:
+        """The record of one job."""
+        return self.records[job.content_hash]
+
+    @property
+    def n_total(self) -> int:
+        """Number of grid cells in the campaign."""
+        return len(self.jobs)
+
+    @property
+    def n_cached(self) -> int:
+        """Cells served from the result store without simulating."""
+        return sum(record.cached for record in self.records.values())
+
+    @property
+    def n_executed(self) -> int:
+        """Cells actually simulated by this invocation."""
+        return sum(not record.cached for record in self.records.values())
+
+    @property
+    def n_failed(self) -> int:
+        """Cells whose job raised (captured, not propagated)."""
+        return sum(not record.ok for record in self.records.values())
+
+    def failures(self) -> list[JobRecord]:
+        """The error records, in grid order."""
+        return [record for _, record in self.iter_records() if not record.ok]
+
+    def raise_for_failures(self) -> None:
+        """Raise a RuntimeError carrying every failed job's full traceback."""
+        failed = self.failures()
+        if not failed:
+            return
+        lines = [f"{len(failed)} of {self.n_total} campaign jobs failed:"]
+        for record in failed:
+            lines.append(f"--- {record.job.label()} ---")
+            lines.append((record.error or "(no traceback captured)").rstrip())
+        raise RuntimeError("\n".join(lines))
+
+
+def run_jobs(
+    spec: CampaignSpec,
+    jobs: list[Job],
+    store: ResultStore | None = None,
+    workers: int = 1,
+    progress: ProgressFn | None = None,
+) -> CampaignResult:
+    """Execute an explicit job list (the engine behind :func:`run_campaign`).
+
+    Args:
+        spec: the campaign the jobs belong to (kept on the result).
+        jobs: jobs to run, in collection order.
+        store: optional persistent store; successful stored records are
+            reused (failures are retried) and fresh records are appended.
+        workers: process count; ``<= 1`` runs in-process.
+        progress: called after every job with (record, done, total); with
+            ``workers > 1`` records arrive in completion order, but the
+            result's :meth:`CampaignResult.iter_records` always yields grid
+            order.
+    """
+    # Dedup by content hash: a grid can alias cells (e.g. the baseline is
+    # threshold-independent), and each unique cell runs exactly once.
+    outcome = CampaignResult(
+        spec=spec, jobs=list({job.content_hash: job for job in jobs}.values())
+    )
+    pending: list[Job] = []
+    done = 0
+
+    for job in outcome.jobs:
+        stored = store.lookup(job) if store is not None else None
+        if stored is not None:
+            record = replace(stored, job=job, cached=True)
+            outcome.records[job.content_hash] = record
+            done += 1
+            if progress is not None:
+                progress(record, done, outcome.n_total)
+        else:
+            pending.append(job)
+
+    def collect(record_dict: dict) -> None:
+        nonlocal done
+        record = JobRecord.from_dict(record_dict)
+        if store is not None:
+            store.put(record)
+        outcome.records[record.job.content_hash] = record
+        done += 1
+        if progress is not None:
+            progress(record, done, outcome.n_total)
+
+    if workers > 1 and len(pending) > 1:
+        # Collect in completion order so every finished job is persisted and
+        # reported immediately — an interrupted sweep keeps everything that
+        # finished, even while a slow early job is still running.
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = [pool.submit(execute_job, job.to_dict()) for job in pending]
+            for future in as_completed(futures):
+                collect(future.result())
+    else:
+        for job in pending:
+            collect(execute_job(job.to_dict()))
+    return outcome
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore | None = None,
+    workers: int = 1,
+    progress: ProgressFn | None = None,
+) -> CampaignResult:
+    """Expand a campaign spec and run every grid cell not already stored."""
+    return run_jobs(spec, spec.expand(), store=store, workers=workers, progress=progress)

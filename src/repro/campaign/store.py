@@ -1,0 +1,150 @@
+"""Persistent, content-addressed store of campaign job results.
+
+Results live in an append-only ``results.jsonl`` under the campaign
+directory, one JSON record per line keyed by the job's content hash.  The
+append-only layout makes concurrent-ish writes and crashes benign (a torn
+final line is skipped on load) and keeps the full history greppable; the
+in-memory index is a plain dict, last write wins.  The campaign spec itself
+is persisted as ``campaign.json`` so ``campaign status`` can diff the grid
+against the results on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.campaign.spec import CampaignSpec, Job
+from repro.gpu.simulator import SimulationResult
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one job: its result, or the captured failure."""
+
+    job: Job
+    status: str
+    result: SimulationResult | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    #: True when this record was served from the store instead of simulated
+    #: in the current invocation (never persisted).
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job completed successfully."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """The record as a JSON-serializable dict (one JSONL line)."""
+        return {
+            "job_hash": self.job.content_hash,
+            "job": self.job.to_dict(),
+            "status": self.status,
+            "result": None if self.result is None else self.result.to_dict(),
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        """Reconstruct a record produced by :meth:`to_dict`."""
+        result = data.get("result")
+        return cls(
+            job=Job.from_dict(data["job"]),
+            status=data["status"],
+            result=None if result is None else SimulationResult.from_dict(result),
+            error=data.get("error"),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+class ResultStore:
+    """JSONL-backed map from job content hash to :class:`JobRecord`."""
+
+    RESULTS_FILE = "results.jsonl"
+    SPEC_FILE = "campaign.json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.directory / self.RESULTS_FILE
+        self._index: dict[str, JobRecord] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.results_path.exists():
+            return
+        with self.results_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    record = JobRecord.from_dict(data)
+                except Exception:
+                    # torn trailing write or foreign line — skip, don't die
+                    continue
+                self._index[record.job.content_hash] = record
+
+    # ------------------------------------------------------------------ #
+    # mapping interface
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, job_hash: str) -> bool:
+        return job_hash in self._index
+
+    def get(self, job_hash: str) -> JobRecord | None:
+        """The stored record for a job hash, or None."""
+        return self._index.get(job_hash)
+
+    def records(self) -> list[JobRecord]:
+        """All stored records, in load/insertion order."""
+        return list(self._index.values())
+
+    def lookup(self, job: Job) -> JobRecord | None:
+        """Find a successful record that can serve ``job`` without simulating.
+
+        This is the store's cache policy, shared by the executor and the
+        ``campaign status`` CLI.  Besides the exact content hash, a
+        timing-only job (``compute_error=False``) is served from its
+        error-computing twin: that record holds a strict superset of the
+        requested metrics (its ``error_percent`` is the real application
+        error instead of the 0.0 a timing-only run reports).  Failed
+        records are never served — they get retried.
+        """
+        record = self.get(job.content_hash)
+        if record is not None and record.ok:
+            return record
+        if not job.compute_error:
+            twin = replace(job, compute_error=True)
+            record = self.get(twin.content_hash)
+            if record is not None and record.ok:
+                return record
+        return None
+
+    def put(self, record: JobRecord) -> None:
+        """Persist a record (appended to disk, indexed in memory)."""
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+        self._index[record.job.content_hash] = record
+
+    # ------------------------------------------------------------------ #
+    # campaign spec persistence
+
+    def save_spec(self, spec: CampaignSpec) -> None:
+        """Write the campaign spec next to the results."""
+        path = self.directory / self.SPEC_FILE
+        path.write_text(json.dumps(spec.to_dict(), indent=2) + "\n", encoding="utf-8")
+
+    def load_spec(self) -> CampaignSpec | None:
+        """Read back the campaign spec, if one was saved."""
+        path = self.directory / self.SPEC_FILE
+        if not path.exists():
+            return None
+        return CampaignSpec.from_dict(json.loads(path.read_text(encoding="utf-8")))

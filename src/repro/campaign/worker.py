@@ -1,0 +1,107 @@
+"""Job execution: the function a campaign worker process runs.
+
+Kept in its own module so :func:`execute_job` is importable at top level —
+a requirement for ``ProcessPoolExecutor`` under the ``spawn`` start method —
+and so the campaign package depends only on the core/gpu/workload layers
+(the experiment harness builds on the campaign engine, not the other way
+around).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.campaign.spec import BASELINE_SCHEME, SCHEME_VARIANTS, Job, overrides_to_config
+from repro.compression.e2mc import E2MCCompressor
+from repro.core.config import SLCConfig
+from repro.core.slc import SLCCompressor
+from repro.gpu.backends import CompressionBackend, LosslessBackend, SLCBackend
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import GPUSimulator, SimulationResult
+from repro.workloads.registry import get_workload
+
+
+def build_backend(
+    scheme: str,
+    config: GPUConfig,
+    lossy_threshold_bytes: int = 16,
+    mag_bytes: int | None = None,
+) -> CompressionBackend:
+    """Build the memory-controller backend for a scheme label.
+
+    ``"E2MC"`` yields the lossless baseline (46/20-cycle latencies); the
+    TSLC labels yield an SLC backend of the matching variant (60/20 cycles).
+    """
+    mag = mag_bytes if mag_bytes is not None else config.mag_bytes
+    latency = config.latency
+    if scheme == BASELINE_SCHEME:
+        compressor = E2MCCompressor(
+            block_size_bytes=config.block_size_bytes,
+            symbol_bytes=2,
+            num_pdw=4,
+        )
+        return LosslessBackend(
+            compressor,
+            mag_bytes=mag,
+            compress_cycles=latency.e2mc_compress_cycles,
+            decompress_cycles=latency.e2mc_decompress_cycles,
+        )
+    if scheme not in SCHEME_VARIANTS:
+        raise KeyError(
+            f"unknown scheme {scheme!r}; available: "
+            f"{', '.join((BASELINE_SCHEME, *SCHEME_VARIANTS))}"
+        )
+    slc_config = SLCConfig(
+        block_size_bytes=config.block_size_bytes,
+        mag_bytes=mag,
+        lossy_threshold_bytes=lossy_threshold_bytes,
+        variant=SCHEME_VARIANTS[scheme],
+    )
+    return SLCBackend(
+        SLCCompressor(slc_config),
+        compress_cycles=latency.tslc_compress_cycles,
+        decompress_cycles=latency.tslc_decompress_cycles,
+    )
+
+
+def simulate_job(job: Job) -> SimulationResult:
+    """Run one job to completion and return its simulation result."""
+    config = overrides_to_config(job.config_overrides)
+    simulator = GPUSimulator(config=config)
+    kwargs: dict = {"seed": job.seed}
+    if job.scale is not None:
+        kwargs["scale"] = job.scale
+    workload = get_workload(job.workload, **kwargs)
+    backend = build_backend(
+        job.scheme,
+        config,
+        lossy_threshold_bytes=job.lossy_threshold_bytes,
+        mag_bytes=job.mag_bytes,
+    )
+    return simulator.run(workload, backend, compute_error=job.compute_error)
+
+
+def execute_job(job_dict: dict) -> dict:
+    """Worker entry point: run one job, never raise.
+
+    Takes and returns plain dicts so the payload crossing the process
+    boundary is cheap to pickle and identical to what the store persists.
+    Failures are captured as an ``"error"`` record with the traceback, so
+    one bad job never kills a sweep.
+    """
+    job = Job.from_dict(job_dict)
+    start = time.perf_counter()
+    try:
+        result = simulate_job(job)
+        status, result_dict, error = "ok", result.to_dict(), None
+    except Exception:
+        status, result_dict, error = "error", None, traceback.format_exc()
+    return {
+        "job_hash": job.content_hash,
+        "job": job.to_dict(),
+        "status": status,
+        "result": result_dict,
+        "error": error,
+        "elapsed_s": time.perf_counter() - start,
+    }

@@ -38,11 +38,15 @@ def run_fig7(
     seed: int = 2019,
     config: GPUConfig | None = None,
     study: SLCStudy | None = None,
+    workers: int = 1,
+    store_dir=None,
 ) -> tuple[list[Fig7Row], SLCStudy]:
     """Regenerate Fig. 7.
 
     Returns the per-benchmark rows (plus GM rows for the speedup) and the
     underlying :class:`SLCStudy`, which Fig. 8 reuses to avoid re-simulating.
+    The study runs as a campaign: ``workers`` parallelizes the grid and
+    ``store_dir`` serves already-simulated cells from the result store.
     """
     if study is None:
         study = run_slc_study(
@@ -52,6 +56,8 @@ def run_fig7(
             scale=scale,
             seed=seed,
             config=config,
+            workers=workers,
+            store_dir=store_dir,
         )
     rows: list[Fig7Row] = []
     schemes = [s for s in study.schemes() if s != study.baseline_label]

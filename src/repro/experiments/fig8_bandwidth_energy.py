@@ -32,8 +32,14 @@ def run_fig8(
     seed: int = 2019,
     config: GPUConfig | None = None,
     study: SLCStudy | None = None,
+    workers: int = 1,
+    store_dir=None,
 ) -> tuple[list[Fig8Row], SLCStudy]:
-    """Regenerate Fig. 8 (per-benchmark rows plus GM rows)."""
+    """Regenerate Fig. 8 (per-benchmark rows plus GM rows).
+
+    Runs as a campaign when no ``study`` is supplied: ``workers``
+    parallelizes the grid, ``store_dir`` enables the persistent cache.
+    """
     if study is None:
         study = run_slc_study(
             workload_names=workload_names,
@@ -43,6 +49,8 @@ def run_fig8(
             seed=seed,
             config=config,
             compute_error=False,
+            workers=workers,
+            store_dir=store_dir,
         )
     schemes = [s for s in study.schemes() if s != study.baseline_label]
     rows: list[Fig8Row] = []

@@ -41,8 +41,14 @@ def run_fig9(
     scale: float | None = None,
     seed: int = 2019,
     config: GPUConfig | None = None,
+    workers: int = 1,
+    store_dir=None,
 ) -> tuple[list[Fig9Row], dict[int, SLCStudy]]:
-    """Regenerate Fig. 9 (per-benchmark rows plus GM rows, one study per MAG)."""
+    """Regenerate Fig. 9 (per-benchmark rows plus GM rows, one study per MAG).
+
+    Each MAG runs as its own campaign; a shared ``store_dir`` caches all of
+    them side by side (MAG and threshold are part of every job's hash).
+    """
     rows: list[Fig9Row] = []
     studies: dict[int, SLCStudy] = {}
     opt_label = VARIANT_LABELS[SLCVariant.OPT]
@@ -55,6 +61,8 @@ def run_fig9(
             scale=scale,
             seed=seed,
             config=config,
+            workers=workers,
+            store_dir=store_dir,
         )
         studies[mag] = study
         for workload in study.workloads():

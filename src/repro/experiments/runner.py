@@ -4,46 +4,45 @@ The central object is :class:`SLCStudy`: for every benchmark it simulates the
 E2MC lossless baseline and the requested TSLC variants on the same workload
 data and exposes the normalized metrics of the paper's figures (speedup,
 application error, bandwidth, energy, EDP).
+
+Since the campaign subsystem landed, :func:`run_slc_study` is a thin wrapper
+over :func:`repro.campaign.run_campaign`: the (workload × scheme) grid is a
+:class:`~repro.campaign.CampaignSpec`, which buys parallel execution
+(``workers``) and persistent caching (``store_dir``) for free while keeping
+the serial semantics bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.compression.e2mc import E2MCCompressor
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    SCHEME_VARIANTS,
+    CampaignSpec,
+    config_to_overrides,
+)
+from repro.campaign.store import ResultStore
+from repro.campaign.worker import build_backend
 from repro.compression.stats import geometric_mean
-from repro.core.config import SLCConfig, SLCVariant
-from repro.core.slc import SLCCompressor
-from repro.gpu.backends import CompressionBackend, LosslessBackend, SLCBackend
+from repro.core.config import SLCVariant
+from repro.gpu.backends import LosslessBackend, SLCBackend
 from repro.gpu.config import GPUConfig
-from repro.gpu.simulator import GPUSimulator, SimulationResult
-from repro.workloads.registry import PAPER_WORKLOAD_ORDER, get_workload
+from repro.gpu.simulator import SimulationResult
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
 #: backend label used for the lossless baseline in every study
-BASELINE_LABEL = "E2MC"
+BASELINE_LABEL = BASELINE_SCHEME
 
 #: the three TSLC variants of Fig. 7/8, in plotting order
-VARIANT_LABELS = {
-    SLCVariant.SIMP: "TSLC-SIMP",
-    SLCVariant.PRED: "TSLC-PRED",
-    SLCVariant.OPT: "TSLC-OPT",
-}
+VARIANT_LABELS = {variant: label for label, variant in SCHEME_VARIANTS.items()}
 
 
 def make_e2mc_backend(config: GPUConfig, mag_bytes: int | None = None) -> LosslessBackend:
     """The E2MC lossless baseline backend (46/20-cycle latencies)."""
-    compressor = E2MCCompressor(
-        block_size_bytes=config.block_size_bytes,
-        symbol_bytes=2,
-        num_pdw=4,
-    )
-    latency = config.latency
-    return LosslessBackend(
-        compressor,
-        mag_bytes=mag_bytes if mag_bytes is not None else config.mag_bytes,
-        compress_cycles=latency.e2mc_compress_cycles,
-        decompress_cycles=latency.e2mc_decompress_cycles,
-    )
+    return build_backend(BASELINE_SCHEME, config, mag_bytes=mag_bytes)
 
 
 def make_slc_backend(
@@ -53,18 +52,11 @@ def make_slc_backend(
     mag_bytes: int | None = None,
 ) -> SLCBackend:
     """A TSLC backend of the given variant/threshold/MAG (60/20-cycle latencies)."""
-    mag = mag_bytes if mag_bytes is not None else config.mag_bytes
-    slc_config = SLCConfig(
-        block_size_bytes=config.block_size_bytes,
-        mag_bytes=mag,
+    return build_backend(
+        VARIANT_LABELS[variant],
+        config,
         lossy_threshold_bytes=lossy_threshold_bytes,
-        variant=variant,
-    )
-    latency = config.latency
-    return SLCBackend(
-        SLCCompressor(slc_config),
-        compress_cycles=latency.tslc_compress_cycles,
-        decompress_cycles=latency.tslc_decompress_cycles,
+        mag_bytes=mag_bytes,
     )
 
 
@@ -85,11 +77,16 @@ class SLCStudy:
         return list(self.results)
 
     def schemes(self) -> list[str]:
-        """Scheme labels present for the first workload (baseline first)."""
-        if not self.results:
-            return []
-        first = next(iter(self.results.values()))
-        return list(first)
+        """Union of scheme labels across all workloads (baseline first)."""
+        labels: list[str] = []
+        for per_scheme in self.results.values():
+            for label in per_scheme:
+                if label not in labels:
+                    labels.append(label)
+        if self.baseline_label in labels:
+            labels.remove(self.baseline_label)
+            labels.insert(0, self.baseline_label)
+        return labels
 
     # ------------------------------------------------------------------ #
     # normalized metrics (the y-axes of Figs. 7–9)
@@ -138,6 +135,8 @@ def run_slc_study(
     seed: int = 2019,
     config: GPUConfig | None = None,
     compute_error: bool = True,
+    workers: int = 1,
+    store_dir: str | Path | None = None,
 ) -> SLCStudy:
     """Simulate every benchmark under E2MC and the requested TSLC variants.
 
@@ -151,35 +150,34 @@ def run_slc_study(
         config: GPU configuration (Table II defaults).
         compute_error: whether to re-run kernels on degraded inputs to obtain
             the application error (disable for timing-only studies).
+        workers: worker processes for the sweep (1 = in-process, serial).
+        store_dir: optional campaign directory; when set, already-computed
+            (workload, scheme) cells are served from the persistent store.
     """
     workload_names = list(workload_names or PAPER_WORKLOAD_ORDER)
     variants = list(variants or [SLCVariant.SIMP, SLCVariant.PRED, SLCVariant.OPT])
-    config = config or GPUConfig()
-    simulator = GPUSimulator(config=config)
-    study = SLCStudy()
+    spec = CampaignSpec(
+        name="slc-study",
+        workloads=tuple(workload_names),
+        schemes=(BASELINE_SCHEME, *(VARIANT_LABELS[v] for v in variants)),
+        lossy_thresholds=(lossy_threshold_bytes,),
+        mags=(mag_bytes,),
+        scales=(scale,),
+        seeds=(seed,),
+        compute_error=compute_error,
+        config_overrides=config_to_overrides(config),
+    )
+    store = ResultStore(store_dir) if store_dir is not None else None
+    outcome = run_campaign(spec, store=store, workers=workers)
+    outcome.raise_for_failures()
 
+    # Key the study by the names the caller passed (jobs normalize to
+    # uppercase internally), so e.g. workload_names=["bs"] stays "bs".
+    names_by_upper: dict[str, str] = {}
     for name in workload_names:
-        kwargs = {"seed": seed}
-        if scale is not None:
-            kwargs["scale"] = scale
-        per_scheme: dict[str, SimulationResult] = {}
-
-        baseline_backend = make_e2mc_backend(config, mag_bytes=mag_bytes)
-        workload = get_workload(name, **kwargs)
-        per_scheme[BASELINE_LABEL] = simulator.run(
-            workload, baseline_backend, compute_error=False
-        )
-
-        for variant in variants:
-            backend = make_slc_backend(
-                config,
-                variant,
-                lossy_threshold_bytes=lossy_threshold_bytes,
-                mag_bytes=mag_bytes,
-            )
-            workload = get_workload(name, **kwargs)
-            per_scheme[VARIANT_LABELS[variant]] = simulator.run(
-                workload, backend, compute_error=compute_error
-            )
-        study.results[name] = per_scheme
+        names_by_upper.setdefault(name.upper(), name)
+    study = SLCStudy()
+    for job, record in outcome.iter_records():
+        name = names_by_upper.get(job.workload, job.workload)
+        study.results.setdefault(name, {})[job.scheme] = record.result
     return study

@@ -52,6 +52,27 @@ class EnergyBreakdown:
     dram_j: float
     compression_j: float
 
+    def to_dict(self) -> dict:
+        """The breakdown as a JSON-serializable dict (lossless round trip)."""
+        return {
+            "constant_j": self.constant_j,
+            "compute_j": self.compute_j,
+            "l2_j": self.l2_j,
+            "dram_j": self.dram_j,
+            "compression_j": self.compression_j,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        """Reconstruct a breakdown produced by :meth:`to_dict`."""
+        return cls(
+            constant_j=float(data["constant_j"]),
+            compute_j=float(data["compute_j"]),
+            l2_j=float(data["l2_j"]),
+            dram_j=float(data["dram_j"]),
+            compression_j=float(data["compression_j"]),
+        )
+
     @property
     def total_j(self) -> float:
         """Total energy in joules."""

@@ -92,6 +92,65 @@ class SimulationResult:
         """EDP of this run normalized to ``baseline`` (lower is better)."""
         return self.edp / baseline.edp
 
+    # ------------------------------------------------------------------ #
+    # serialization (the campaign result store persists results as JSON)
+
+    def to_dict(self) -> dict:
+        """The result as a JSON-serializable dict (lossless round trip).
+
+        Floats survive JSON exactly (``json`` emits ``repr``-precision
+        values), so ``from_dict(json.loads(json.dumps(to_dict())))``
+        reconstructs an identical result.
+        """
+        return {
+            "workload": self.workload,
+            "backend": self.backend,
+            "exec_time_s": self.exec_time_s,
+            "compute_time_s": self.compute_time_s,
+            "memory_time_s": self.memory_time_s,
+            "exposed_latency_s": self.exposed_latency_s,
+            "compute_ops": self.compute_ops,
+            "total_bursts": self.total_bursts,
+            "read_bursts": self.read_bursts,
+            "write_bursts": self.write_bursts,
+            "dram_bytes": self.dram_bytes,
+            "dram_row_misses": self.dram_row_misses,
+            "l2_accesses": self.l2_accesses,
+            "l2_hit_rate": self.l2_hit_rate,
+            "stored_blocks": self.stored_blocks,
+            "lossy_blocks": self.lossy_blocks,
+            "error_percent": self.error_percent,
+            "energy": self.energy.to_dict(),
+            "mdc_hit_rate": self.mdc_hit_rate,
+            "extra_metrics": dict(self.extra_metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Reconstruct a result produced by :meth:`to_dict`."""
+        return cls(
+            workload=data["workload"],
+            backend=data["backend"],
+            exec_time_s=float(data["exec_time_s"]),
+            compute_time_s=float(data["compute_time_s"]),
+            memory_time_s=float(data["memory_time_s"]),
+            exposed_latency_s=float(data["exposed_latency_s"]),
+            compute_ops=float(data["compute_ops"]),
+            total_bursts=int(data["total_bursts"]),
+            read_bursts=int(data["read_bursts"]),
+            write_bursts=int(data["write_bursts"]),
+            dram_bytes=int(data["dram_bytes"]),
+            dram_row_misses=int(data["dram_row_misses"]),
+            l2_accesses=int(data["l2_accesses"]),
+            l2_hit_rate=float(data["l2_hit_rate"]),
+            stored_blocks=int(data["stored_blocks"]),
+            lossy_blocks=int(data["lossy_blocks"]),
+            error_percent=float(data["error_percent"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+            mdc_hit_rate=float(data.get("mdc_hit_rate", 1.0)),
+            extra_metrics=dict(data.get("extra_metrics", {})),
+        )
+
 
 class GPUSimulator:
     """Trace-driven simulation of one workload under one compression backend.

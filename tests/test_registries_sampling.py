@@ -1,0 +1,79 @@
+"""Error paths and edge cases of the registries and the sampling helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.registry import available_compressors, get_compressor
+from repro.utils.sampling import sample_evenly
+from repro.workloads.registry import available_workloads, get_workload
+
+# --------------------------------------------------------------------- #
+# workload registry
+
+
+def test_get_workload_unknown_name_keyerror_lists_available():
+    with pytest.raises(KeyError) as excinfo:
+        get_workload("NOPE")
+    message = str(excinfo.value)
+    assert "unknown workload 'NOPE'" in message
+    for name in available_workloads():
+        assert name in message
+
+
+def test_get_workload_is_case_insensitive():
+    assert get_workload("bs").name == get_workload("BS").name
+    assert get_workload("srad1").name == get_workload("SRAD1").name
+
+
+# --------------------------------------------------------------------- #
+# compressor registry
+
+
+def test_get_compressor_unknown_name_keyerror_lists_available():
+    with pytest.raises(KeyError) as excinfo:
+        get_compressor("zlib")
+    message = str(excinfo.value)
+    assert "unknown compressor 'zlib'" in message
+    for name in available_compressors():
+        assert name in message
+
+
+def test_get_compressor_is_case_insensitive():
+    lower = get_compressor("e2mc")
+    upper = get_compressor("E2MC")
+    assert type(lower) is type(upper)
+
+
+# --------------------------------------------------------------------- #
+# sample_evenly
+
+
+def test_sample_evenly_target_at_least_len_returns_copy():
+    items = [1, 2, 3]
+    for target in (3, 4, 100):
+        sampled = sample_evenly(items, target)
+        assert sampled == items
+        assert sampled is not items  # a fresh list, not an alias
+
+
+def test_sample_evenly_nonpositive_target_raises():
+    for target in (0, -1, -100):
+        with pytest.raises(ValueError, match="target must be positive"):
+            sample_evenly([1, 2, 3], target)
+
+
+def test_sample_evenly_spreads_across_the_sequence():
+    items = list(range(100))
+    sampled = sample_evenly(items, 10)
+    assert len(sampled) == 10
+    assert sampled[0] == items[0]
+    assert sampled == sorted(sampled)
+    assert set(sampled) <= set(items)
+    # evenly spread: consecutive picks are a constant stride apart
+    strides = {b - a for a, b in zip(sampled, sampled[1:])}
+    assert strides == {10}
+
+
+def test_sample_evenly_empty_sequence():
+    assert sample_evenly([], 5) == []
