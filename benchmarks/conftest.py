@@ -24,12 +24,25 @@ def pytest_addoption(parser):
         default="",
         help="comma-separated subset of benchmarks (default: all nine)",
     )
+    parser.addoption(
+        "--kernels-quick",
+        action="store_true",
+        default=False,
+        help="kernels microbenchmark smoke mode: fewer workloads, relaxed "
+        "speedup floor (used by CI)",
+    )
 
 
 @pytest.fixture(scope="session")
 def slc_scale(request) -> float:
     """Workload input scale for the figure benchmarks."""
     return float(request.config.getoption("--slc-scale"))
+
+
+@pytest.fixture(scope="session")
+def kernels_quick(request) -> bool:
+    """Whether the kernels microbenchmark runs in CI smoke mode."""
+    return bool(request.config.getoption("--kernels-quick"))
 
 
 @pytest.fixture(scope="session")

@@ -65,10 +65,18 @@ def build_backend(
     )
 
 
-def simulate_job(job: Job) -> SimulationResult:
-    """Run one job to completion and return its simulation result."""
+def simulate_job(job: Job, batch_store: bool = True) -> SimulationResult:
+    """Run one job to completion and return its simulation result.
+
+    Args:
+        job: the campaign job description.
+        batch_store: route the simulator's host-to-device store phase through
+            the vectorized analysis kernels (:mod:`repro.kernels`).  Results
+            are identical either way; the kernels microbenchmark flips this
+            off to measure the scalar path.
+    """
     config = overrides_to_config(job.config_overrides)
-    simulator = GPUSimulator(config=config)
+    simulator = GPUSimulator(config=config, batch_store=batch_store)
     kwargs: dict = {"seed": job.seed}
     if job.scale is not None:
         kwargs["scale"] = job.scale

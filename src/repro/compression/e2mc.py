@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
 
 from repro.compression.base import (
     BlockCompressor,
@@ -30,6 +33,10 @@ from repro.compression.base import (
 from repro.compression.huffman import HuffmanCode, build_huffman_code
 from repro.utils.bitstream import BitReader, BitWriter
 from repro.utils.blocks import block_to_symbols, symbols_to_block
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernels -> e2mc)
+    from repro.kernels.lut import CodeLengthLUT
+    from repro.kernels.symbols import BatchSymbolView
 
 #: Pseudo-symbol used as the escape marker inside the Huffman table.  Real
 #: symbols are non-negative, so a negative key can never collide.
@@ -58,24 +65,71 @@ class SymbolModel:
         return self.symbol_bytes * 8
 
     def fit(self, blocks: list[bytes]) -> None:
-        """Build the probability table from sample blocks (online sampling)."""
-        counts: Counter[int] = Counter()
-        for block in blocks:
-            counts.update(block_to_symbols(block, self.symbol_bytes))
+        """Build the probability table from sample blocks (online sampling).
+
+        Narrow symbols (1 or 2 bytes) are counted in one :func:`numpy.bincount`
+        over the concatenated sample bytes; wider symbols fall back to the
+        per-block Python loop.
+        """
+        if (
+            self.symbol_bytes in (1, 2)
+            and blocks
+            and all(len(block) % self.symbol_bytes == 0 for block in blocks)
+        ):
+            from repro.kernels.symbols import SYMBOL_DTYPES
+
+            flat = np.frombuffer(
+                b"".join(blocks), dtype=SYMBOL_DTYPES[self.symbol_bytes]
+            )
+            bincount = np.bincount(flat, minlength=1 << self.symbol_bits)
+            nonzero = np.nonzero(bincount)[0]
+            counts: Mapping[int, int] = dict(
+                zip(nonzero.tolist(), bincount[nonzero].tolist())
+            )
+        else:
+            counter: Counter[int] = Counter()
+            for block in blocks:
+                counter.update(block_to_symbols(block, self.symbol_bytes))
+            counts = counter
         self.fit_counts(counts)
 
-    def fit_counts(self, counts: Counter) -> None:
-        """Build the probability table from pre-computed symbol counts."""
+    def fit_counts(self, counts: Mapping[int, int]) -> None:
+        """Build the probability table from pre-computed symbol counts.
+
+        Table admission is deterministic — symbols are ranked by descending
+        count with the symbol value breaking ties — so the same counts always
+        yield the same code regardless of how (or in which order) they were
+        accumulated.
+        """
         if not counts:
             raise CompressionError("cannot train a symbol model on no data")
-        most_common = counts.most_common(self.max_table_entries)
-        table = dict(most_common)
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        table = dict(ordered[: self.max_table_entries])
         escaped = sum(counts.values()) - sum(table.values())
         # The escape symbol always gets a codeword so unseen symbols at
         # compression time remain encodable.
         table[ESCAPE_SYMBOL] = max(1, escaped)
         self.code = build_huffman_code(table, max_length=self.max_code_length)
         self.trained = True
+
+    def code_length_table(self) -> "CodeLengthLUT":
+        """The code as a dense per-symbol length table (cached per code).
+
+        The table is the batch-kernel counterpart of :meth:`code_length`:
+        entry ``s`` holds the coded length of symbol ``s``, with untabled
+        symbols mapped to escape-plus-raw bits.  Rebuilt lazily whenever the
+        model is retrained.
+        """
+        from repro.kernels.lut import CodeLengthLUT
+
+        if (
+            getattr(self, "_lut_for", None) is not self.code
+            or getattr(self, "_lut_trained", None) != self.trained
+        ):
+            self._lut = CodeLengthLUT.from_model(self)
+            self._lut_for = self.code
+            self._lut_trained = self.trained
+        return self._lut
 
     def code_length(self, symbol: int) -> int:
         """Coded length of ``symbol`` in bits (escape + raw bits if untabled)."""
@@ -204,6 +258,38 @@ class E2MCCompressor(BlockCompressor):
     def payload_size_bits(self, block: bytes) -> int:
         """Sum of the per-symbol code lengths, without the header."""
         return sum(self.symbol_code_lengths(block))
+
+    def symbol_code_lengths_batch(
+        self, blocks: "BatchSymbolView | list[bytes]"
+    ) -> np.ndarray:
+        """Per-symbol code lengths of many blocks as an ``(n, symbols)`` matrix.
+
+        One LUT gather replaces the per-symbol dict lookups of
+        :meth:`symbol_code_lengths`; only defined for symbol widths the dense
+        LUT supports (up to 2 bytes).
+        """
+        from repro.kernels.symbols import as_symbol_view
+
+        view = as_symbol_view(blocks, self.block_size_bytes, self.symbol_bytes)
+        return self.model.code_length_table().lengths(view.symbols)
+
+    def compressed_size_bits_batch(
+        self, blocks: "BatchSymbolView | list[bytes]"
+    ) -> np.ndarray:
+        """Total stored bits per block, exactly as :meth:`compress` reports.
+
+        Payload row sums plus the parallel-decoding header, clamped at the
+        raw block size (blocks that would not shrink are stored raw); an
+        untrained model stores everything raw.
+        """
+        from repro.kernels.symbols import as_symbol_view
+
+        view = as_symbol_view(blocks, self.block_size_bytes, self.symbol_bytes)
+        if not self.model.trained:
+            return np.full(view.n_blocks, self.block_size_bits, dtype=np.int64)
+        sizes = self.model.code_length_table().payload_bits(view.symbols)
+        sizes += self.header_bits
+        return np.minimum(sizes, self.block_size_bits)
 
     # ------------------------------------------------------------------ #
     # BlockCompressor interface

@@ -75,8 +75,12 @@ def build_huffman_code(
     Args:
         frequencies: symbol → occurrence count (must be positive).
         max_length: optional cap on codeword length.  When the unconstrained
-            Huffman tree exceeds the cap, the package-merge algorithm is used
-            to compute optimal length-limited code lengths instead.
+            Huffman tree exceeds the cap, near-optimal length-limited code
+            lengths are computed by iterative frequency flattening
+            (:func:`_length_limited_lengths`): the frequency distribution is
+            repeatedly halved (floored at 1) and the tree rebuilt until it
+            fits, which is guaranteed whenever
+            ``2**max_length >= len(frequencies)``.
     """
     cleaned = {int(s): int(f) for s, f in frequencies.items() if f > 0}
     if not cleaned:

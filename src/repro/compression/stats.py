@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 DEFAULT_MAG_BYTES = 32
 DEFAULT_BLOCK_BYTES = 128
 
@@ -100,7 +102,13 @@ class CompressionStats:
     extra_byte_histogram: dict[int, int] = field(default_factory=dict)
 
     def add_block(self, compressed_size_bits: int) -> None:
-        """Record one block's lossless compressed size (in bits)."""
+        """Record one block's lossless compressed size (in bits).
+
+        Burst counting goes through :func:`bursts_for_size` on the (clamped)
+        compressed size, so MAGs that do not divide the block size are
+        charged correctly: a 128 B block under a 48 B MAG needs 3 bursts
+        (144 B fetched), not ``128 // 48 == 2``.
+        """
         if compressed_size_bits < 0:
             raise ValueError("compressed size cannot be negative")
         compressed_bytes = compressed_size_bits / 8.0
@@ -108,10 +116,9 @@ class CompressionStats:
         self.total_blocks += 1
         self.total_original_bytes += self.block_size_bytes
         self.total_compressed_bytes += compressed_bytes
-        effective = effective_compressed_bytes(compressed_bytes, self.mag_bytes)
-        effective = min(effective, self.block_size_bytes)
-        self.total_effective_bytes += effective
-        self.total_bursts += effective // self.mag_bytes
+        bursts = bursts_for_size(compressed_bytes, self.mag_bytes)
+        self.total_effective_bytes += bursts * self.mag_bytes
+        self.total_bursts += bursts
         if compressed_bytes >= self.block_size_bytes:
             self.uncompressed_blocks += 1
             # Uncompressed blocks are binned at exactly one MAG above the
@@ -120,6 +127,39 @@ class CompressionStats:
         else:
             bin_key = extra_bytes_above_mag(compressed_bytes, self.mag_bytes)
         self.extra_byte_histogram[bin_key] = self.extra_byte_histogram.get(bin_key, 0) + 1
+
+    def add_blocks(self, compressed_size_bits) -> None:
+        """Record many blocks' compressed sizes (in bits) in one batch.
+
+        Vectorized counterpart of :meth:`add_block` for the batched analysis
+        kernels: ``compressed_size_bits`` is any integer array-like (e.g. the
+        output of ``E2MCCompressor.compressed_size_bits_batch``).  The
+        accumulated statistics are identical to looping ``add_block``.
+        """
+        sizes = np.atleast_1d(np.asarray(compressed_size_bits))
+        if sizes.size == 0:
+            return
+        if np.any(sizes < 0):
+            raise ValueError("compressed size cannot be negative")
+        compressed = np.minimum(sizes / 8.0, float(self.block_size_bytes))
+        bursts = np.maximum(
+            1, np.ceil(compressed / self.mag_bytes).astype(np.int64)
+        )
+        self.total_blocks += int(sizes.size)
+        self.total_original_bytes += self.block_size_bytes * int(sizes.size)
+        self.total_compressed_bytes += float(compressed.sum())
+        self.total_effective_bytes += int(bursts.sum()) * self.mag_bytes
+        self.total_bursts += int(bursts.sum())
+        uncompressed = compressed >= self.block_size_bytes
+        self.uncompressed_blocks += int(uncompressed.sum())
+        size_ceil = np.ceil(compressed).astype(np.int64)
+        bins = np.where(size_ceil <= self.mag_bytes, 0, size_ceil % self.mag_bytes)
+        bins = np.where(uncompressed, self.mag_bytes, bins)
+        for bin_key, count in zip(*np.unique(bins, return_counts=True)):
+            key = int(bin_key)
+            self.extra_byte_histogram[key] = (
+                self.extra_byte_histogram.get(key, 0) + int(count)
+            )
 
     @property
     def raw_ratio(self) -> float:

@@ -307,6 +307,64 @@ class SLCCompressor:
             used_extra_node=selection.used_extra_node,
         )
 
+    def analyze_batch(
+        self,
+        blocks: "list[bytes]",
+        approximable: bool = True,
+    ) -> list[SLCDecision]:
+        """Run the SLC mode decision for many blocks at once.
+
+        The batched path (:mod:`repro.kernels`) computes code lengths through
+        a dense LUT gather and the Fig. 4 decision — bit budget, threshold,
+        adder-tree sub-block search, burst accounting — as array operations
+        over all blocks simultaneously.  Results are bit-exact against
+        per-block :meth:`analyze`, which remains the n = 1 reference (and the
+        fallback for geometries the kernels do not cover: symbols wider than
+        2 bytes or a non-power-of-two symbol count).
+
+        Args:
+            blocks: the raw blocks, as a list of ``block_size_bytes`` chunks
+                or a pre-built :class:`~repro.kernels.symbols.BatchSymbolView`.
+            approximable: whether the blocks' region is safe to approximate.
+        """
+        from repro.kernels.decision import analyze_code_lengths
+        from repro.kernels.symbols import BatchSymbolView, as_symbol_view
+
+        spb = self.config.symbols_per_block
+        if self.config.symbol_bytes > 2 or spb & (spb - 1):
+            if isinstance(blocks, BatchSymbolView):
+                blocks = [blocks.block_bytes(i) for i in range(blocks.n_blocks)]
+            return [self.analyze(block, approximable=approximable) for block in blocks]
+
+        view = as_symbol_view(blocks, self.config.block_size_bytes, self.config.symbol_bytes)
+        lengths = self.baseline.model.code_length_table().lengths(view.symbols)
+        decisions = analyze_code_lengths(
+            self.config,
+            lengths,
+            trained=self.trained,
+            approximable=approximable,
+            plan=self._tree_plan(),
+        )
+        return decisions.to_decisions()
+
+    def _tree_plan(self):
+        """Cached static adder-tree layout for the batched kernels."""
+        from repro.kernels.tree import BatchTreePlan
+
+        plan = getattr(self, "_tree_plan_cache", None)
+        if plan is None:
+            plan = BatchTreePlan(
+                self.config.symbols_per_block,
+                extra_nodes=(
+                    self.config.opt_extra_nodes
+                    if self.config.uses_optimized_tree
+                    else None
+                ),
+                max_symbols=self.config.max_approx_symbols,
+            )
+            self._tree_plan_cache = plan
+        return plan
+
     def apply_decision(self, block: bytes, decision: SLCDecision) -> bytes:
         """Return the block as it would read back after the given decision.
 

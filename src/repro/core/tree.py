@@ -19,6 +19,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+def extra_node_starts(n_symbols: int, level: int, count: int) -> list[int]:
+    """Start symbols of the TSLC-OPT staggered windows at ``level``.
+
+    The layout is purely geometric (independent of the code lengths): windows
+    of ``2**level`` symbols offset by half a window, spaced so at most
+    ``count`` of them fit before the end of the block.  Shared by the scalar
+    :class:`AdderTree` and the batched kernel in :mod:`repro.kernels.tree` so
+    the two paths can never disagree about where the extra nodes sit.
+    """
+    if count <= 0:
+        return []
+    window = 1 << level
+    offset = window // 2
+    max_start = n_symbols - window
+    if max_start < offset:
+        return []
+    stride = max(window, (max_start - offset) // count + 1)
+    starts: list[int] = []
+    start = offset
+    while start <= max_start and len(starts) < count:
+        starts.append(start)
+        start += stride
+    return starts
+
+
 @dataclass(frozen=True)
 class TreeNode:
     """One node of the adder tree: a window of symbols and its summed size."""
@@ -87,18 +112,9 @@ class AdderTree:
                 raise ValueError(
                     f"extra-node level {level} outside valid range 1..{self.n_levels}"
                 )
-            if count <= 0:
-                continue
             window = 1 << level
-            offset = window // 2
-            max_start = self.n_symbols - window
-            if max_start < offset:
-                continue
-            stride = max(window, (max_start - offset) // count + 1)
             nodes = []
-            start = offset
-            index = 0
-            while start <= max_start and len(nodes) < count:
+            for index, start in enumerate(extra_node_starts(self.n_symbols, level, count)):
                 sum_bits = sum(self.code_lengths[start:start + window])
                 nodes.append(
                     TreeNode(
@@ -110,9 +126,8 @@ class AdderTree:
                         is_extra=True,
                     )
                 )
-                start += stride
-                index += 1
-            extras[level] = nodes
+            if nodes:
+                extras[level] = nodes
         return extras
 
     # ------------------------------------------------------------------ #

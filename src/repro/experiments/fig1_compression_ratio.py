@@ -61,11 +61,10 @@ def compression_stats_for_blocks(
     stats = CompressionStats(block_size_bytes=block_size_bytes, mag_bytes=mag_bytes)
     if compressor_name == "e2mc":
         # The compressed size of an E2MC block is the sum of its code lengths
-        # plus the parallel-decoding header; computing it directly avoids the
-        # (slow) bit-level encode and matches what the hardware adder tree does.
-        for block in blocks:
-            size = compressor.payload_size_bits(block) + compressor.header_bits
-            stats.add_block(min(size, block_size_bytes * 8))
+        # plus the parallel-decoding header; the batched LUT kernel computes
+        # every block's size in one gather + row sum, matching what the
+        # hardware adder tree does without any bit-level encoding.
+        stats.add_blocks(compressor.compressed_size_bits_batch(blocks))
     else:
         for block in blocks:
             stats.add_block(compressor.compress(block).compressed_size_bits)

@@ -84,6 +84,21 @@ class MemoryController:
                 (host-to-device copies before the kernel are not charged).
         """
         stored = self.backend.store(block, approximable=approximable)
+        return self.record_stored(block_address, stored, count_traffic=count_traffic)
+
+    def record_stored(
+        self,
+        block_address: int,
+        stored: StoredBlock,
+        count_traffic: bool = True,
+    ) -> StoredBlock:
+        """Book-keep a block whose compression was already decided.
+
+        The batched store path analyzes a whole region at once
+        (:meth:`~repro.gpu.backends.CompressionBackend.store_batch`) and then
+        records each resulting :class:`StoredBlock` here; the accounting is
+        identical to :meth:`store_block`.
+        """
         self._storage[block_address] = stored
         self.mdc.update(block_address, stored.bursts)
         self.stats.compress_invocations += 1

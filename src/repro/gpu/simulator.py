@@ -165,6 +165,11 @@ class GPUSimulator:
             overlap of computation and memory transfers.
         train_samples: number of blocks sampled per workload to train the
             compression backend's probability model (E2MC's online sampling).
+        batch_store: run the host-to-device store phase through the backend's
+            batched analysis kernels (:mod:`repro.kernels`), one
+            ``store_batch`` call per region instead of one ``store`` call per
+            block.  Results are identical; disable only to benchmark the
+            scalar path.
     """
 
     def __init__(
@@ -174,6 +179,7 @@ class GPUSimulator:
         sm_efficiency: float = 0.7,
         overlap_penalty: float = 0.15,
         train_samples: int = 1024,
+        batch_store: bool = True,
     ) -> None:
         self.config = config or GPUConfig()
         self.energy_model = energy_model or EnergyModel()
@@ -184,6 +190,7 @@ class GPUSimulator:
             raise ValueError("train_samples must be positive")
         self.overlap_penalty = overlap_penalty
         self.train_samples = train_samples
+        self.batch_store = batch_store
 
     # ------------------------------------------------------------------ #
     # public API
@@ -227,15 +234,27 @@ class GPUSimulator:
 
         # Host-to-device copy: every input region is compressed and stored.
         # This traffic happens before the kernel and is not charged to it.
+        # With batch_store the backend analyzes each region's blocks in one
+        # vectorized call; the per-block loop only dispatches the results to
+        # the interleaved controllers.
         for name, region in input_regions.items():
             base = base_addresses[name]
-            for index, block in enumerate(region_blocks[name]):
-                self._controller(controllers, base + index).store_block(
-                    base + index,
-                    block,
-                    approximable=region.approximable,
-                    count_traffic=False,
+            if self.batch_store:
+                stored_blocks = backend.store_batch(
+                    region_blocks[name], approximable=region.approximable
                 )
+                for index, stored in enumerate(stored_blocks):
+                    self._controller(controllers, base + index).record_stored(
+                        base + index, stored, count_traffic=False
+                    )
+            else:
+                for index, block in enumerate(region_blocks[name]):
+                    self._controller(controllers, base + index).store_block(
+                        base + index,
+                        block,
+                        approximable=region.approximable,
+                        count_traffic=False,
+                    )
 
         # Kernel execution: replay the workload's block trace through the L2.
         trace = workload.trace(all_regions, block_size_bytes=block_size)
@@ -304,7 +323,13 @@ class GPUSimulator:
         input_regions: dict[str, Region],
         region_blocks: dict[str, list[bytes]],
     ) -> None:
-        """Sample input blocks to train the backend's probability model."""
+        """Sample input blocks to train the backend's probability model.
+
+        The heavy part of training — counting 16-bit symbols over the sampled
+        bytes — runs as one ``np.bincount`` inside the symbol model
+        (:meth:`repro.compression.e2mc.SymbolModel.fit`) rather than a
+        per-block ``Counter`` update.
+        """
         all_blocks: list[bytes] = []
         for name in input_regions:
             all_blocks.extend(region_blocks[name])

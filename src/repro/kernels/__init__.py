@@ -1,0 +1,39 @@
+"""Batched NumPy analysis kernels for the E2MC/SLC hot path.
+
+The scalar compressor code paths (:mod:`repro.compression.e2mc`,
+:mod:`repro.core.slc`) process one block at a time with Python loops — fine
+for unit-level reasoning, far too slow for campaign sweeps that analyze every
+block of every region of nine workloads.  This package re-expresses the
+size-analysis pipeline as array programs over all blocks of a region at once:
+
+* :class:`~repro.kernels.symbols.BatchSymbolView` — raw region bytes as an
+  ``(n_blocks, symbols_per_block)`` matrix via one :func:`numpy.frombuffer`;
+* :class:`~repro.kernels.lut.CodeLengthLUT` — the trained Huffman code
+  expanded into a 65536-entry code-length table, so per-block code lengths
+  are one fancy-index and payload sizes a row sum;
+* :mod:`~repro.kernels.tree` — the TSLC adder tree as per-level prefix-sum
+  gathers plus an ``argmax`` priority encoder (including the TSLC-OPT
+  staggered windows);
+* :mod:`~repro.kernels.decision` — the Fig. 4 mode decision (bit budget,
+  threshold, burst accounting) as elementwise array arithmetic.
+
+The scalar path remains the n = 1 reference: `analyze_batch` results are
+bit-exact against per-block `analyze` (enforced by
+``tests/test_batch_kernels.py``).
+"""
+
+from repro.kernels.decision import BatchDecisions, analyze_code_lengths
+from repro.kernels.lut import CodeLengthLUT
+from repro.kernels.symbols import BatchSymbolView, as_symbol_view
+from repro.kernels.tree import BatchSelection, BatchTreePlan, select_subblocks
+
+__all__ = [
+    "BatchDecisions",
+    "BatchSelection",
+    "BatchSymbolView",
+    "BatchTreePlan",
+    "CodeLengthLUT",
+    "analyze_code_lengths",
+    "as_symbol_view",
+    "select_subblocks",
+]

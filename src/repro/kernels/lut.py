@@ -1,0 +1,78 @@
+"""Code-length lookup table: the trained Huffman code as one NumPy array.
+
+E2MC's central property (and the reason SLC's adder tree exists) is that the
+compressed size of a block is the *sum of its per-symbol code lengths*.  The
+scalar path resolves every symbol through a dict lookup; here the trained
+:class:`~repro.compression.huffman.HuffmanCode` is expanded once into a
+``2**symbol_bits``-entry array (65536 entries for 16-bit symbols) where
+tabled symbols hold their codeword length and every other entry holds the
+escape length plus the raw symbol bits.  Per-block code lengths then become a
+single fancy-index and payload sizes a row sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: widest symbol for which materializing the full table is sensible
+#: (2 bytes -> 65536 entries; 4-byte symbols would need 2**32 entries)
+MAX_LUT_SYMBOL_BYTES = 2
+
+
+@dataclass(frozen=True)
+class CodeLengthLUT:
+    """Dense per-symbol code-length table for a trained symbol model.
+
+    Attributes:
+        table: ``(2**symbol_bits,)`` int32 array mapping symbol -> coded bits.
+        symbol_bits: raw symbol width in bits.
+        trained: whether the table came from a trained model.  An untrained
+            table maps every symbol to its raw width, matching
+            :meth:`SymbolModel.code_length` before training.
+    """
+
+    table: np.ndarray
+    symbol_bits: int
+    trained: bool
+
+    @classmethod
+    def from_model(cls, model) -> "CodeLengthLUT":
+        """Expand a :class:`~repro.compression.e2mc.SymbolModel` into a LUT.
+
+        Raises :class:`ValueError` for symbol widths whose table would not
+        fit in memory; callers fall back to the scalar path in that case.
+        """
+        from repro.compression.e2mc import ESCAPE_SYMBOL
+
+        if model.symbol_bytes > MAX_LUT_SYMBOL_BYTES:
+            raise ValueError(
+                f"cannot build a dense LUT for {model.symbol_bytes}-byte symbols"
+            )
+        symbol_bits = model.symbol_bits
+        size = 1 << symbol_bits
+        if not model.trained:
+            return cls(
+                table=np.full(size, symbol_bits, dtype=np.int32),
+                symbol_bits=symbol_bits,
+                trained=False,
+            )
+        escape_bits = model.code.lengths[ESCAPE_SYMBOL] + symbol_bits
+        table = np.full(size, escape_bits, dtype=np.int32)
+        coded = [(s, length) for s, length in model.code.lengths.items() if s >= 0]
+        if coded:
+            symbols, lengths = zip(*coded)
+            table[np.asarray(symbols, dtype=np.int64)] = np.asarray(
+                lengths, dtype=np.int32
+            )
+        table.setflags(write=False)
+        return cls(table=table, symbol_bits=symbol_bits, trained=True)
+
+    def lengths(self, symbols: np.ndarray) -> np.ndarray:
+        """Code lengths of ``symbols`` (any shape), as int32 of the same shape."""
+        return self.table[symbols]
+
+    def payload_bits(self, symbols: np.ndarray) -> np.ndarray:
+        """Per-block payload sizes: row sums of the code lengths."""
+        return self.table[symbols].sum(axis=-1, dtype=np.int64)

@@ -1,0 +1,168 @@
+"""Vectorized TSLC adder tree: sub-block selection for all blocks at once.
+
+The scalar :class:`~repro.core.tree.AdderTree` builds per-level window sums
+with Python list comprehensions and scans nodes with a Python loop, once per
+block.  Here the node *layout* (window starts per level, including the
+TSLC-OPT staggered windows) is computed once per configuration as a
+:class:`BatchTreePlan`; the data-dependent window sums are then one gather of
+a prefix-sum array per level, and the priority encoder is an ``argmax`` over
+the eligibility matrix.  Levels are scanned lowest-first, exactly mirroring
+``AdderTree.select_subblock``: the first level with an eligible window wins,
+and within a level the node with the smallest start symbol (aligned before
+staggered on ties) wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tree import extra_node_starts
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """Static node layout of one tree level.
+
+    Attributes:
+        level: 1-based tree level (windows of ``2**level`` symbols).
+        window: symbols per window.
+        starts: start symbol of every node, sorted ascending; on equal starts
+            the aligned node precedes the staggered one, matching the stable
+            sort in ``AdderTree.nodes_at_level``.
+        is_extra: per-node flag marking TSLC-OPT staggered windows.
+    """
+
+    level: int
+    window: int
+    starts: np.ndarray
+    is_extra: np.ndarray
+
+
+class BatchTreePlan:
+    """Node layout of the adder tree for one (symbols, extra-nodes) geometry."""
+
+    def __init__(
+        self,
+        n_symbols: int,
+        extra_nodes: dict[int, int] | None = None,
+        max_symbols: int | None = None,
+    ) -> None:
+        if n_symbols <= 0 or n_symbols & (n_symbols - 1):
+            raise ValueError(
+                f"number of symbols must be a power of two, got {n_symbols}"
+            )
+        self.n_symbols = n_symbols
+        self.n_levels = n_symbols.bit_length() - 1
+        extra_nodes = extra_nodes or {}
+        for level in extra_nodes:
+            if not 1 <= level <= self.n_levels:
+                raise ValueError(
+                    f"extra-node level {level} outside valid range 1..{self.n_levels}"
+                )
+        self.levels: list[LevelPlan] = []
+        for level in range(1, self.n_levels + 1):
+            window = 1 << level
+            if max_symbols is not None and window > max_symbols:
+                break
+            aligned = np.arange(0, n_symbols, window, dtype=np.int64)
+            extra = np.asarray(
+                extra_node_starts(n_symbols, level, extra_nodes.get(level, 0)),
+                dtype=np.int64,
+            )
+            starts = np.concatenate([aligned, extra])
+            is_extra = np.concatenate(
+                [np.zeros(len(aligned), bool), np.ones(len(extra), bool)]
+            )
+            # Stable sort keeps aligned nodes ahead of staggered ones when a
+            # staggered window happens to share a start symbol.
+            order = np.argsort(starts, kind="stable")
+            self.levels.append(
+                LevelPlan(
+                    level=level,
+                    window=window,
+                    starts=starts[order],
+                    is_extra=is_extra[order],
+                )
+            )
+
+
+@dataclass(frozen=True)
+class BatchSelection:
+    """Vectorized result of ``AdderTree.select_subblock`` over many blocks.
+
+    Rows where ``found`` is ``False`` had no window of at most ``max_symbols``
+    symbols covering the required bits (the scalar path returns ``None``);
+    their other fields are zero.
+    """
+
+    found: np.ndarray
+    level: np.ndarray
+    start_symbol: np.ndarray
+    symbol_count: np.ndarray
+    bits_removed: np.ndarray
+    used_extra_node: np.ndarray
+
+
+def select_subblocks(
+    code_lengths: np.ndarray,
+    required_bits: np.ndarray,
+    plan: BatchTreePlan,
+) -> BatchSelection:
+    """Pick the sub-block to truncate for every block at once.
+
+    Args:
+        code_lengths: ``(n_blocks, n_symbols)`` per-symbol code lengths.
+        required_bits: ``(n_blocks,)`` bits each truncation must cover
+            (must be positive, as in the scalar path).
+        plan: the static node layout for this geometry.
+    """
+    lengths = np.asarray(code_lengths, dtype=np.int64)
+    required = np.asarray(required_bits, dtype=np.int64)
+    n_blocks = lengths.shape[0]
+    if lengths.shape[1] != plan.n_symbols:
+        raise ValueError(
+            f"expected {plan.n_symbols} symbols per block, got {lengths.shape[1]}"
+        )
+    if np.any(required <= 0):
+        raise ValueError("required_bits must be positive")
+
+    found = np.zeros(n_blocks, dtype=bool)
+    level = np.zeros(n_blocks, dtype=np.int64)
+    start = np.zeros(n_blocks, dtype=np.int64)
+    count = np.zeros(n_blocks, dtype=np.int64)
+    bits = np.zeros(n_blocks, dtype=np.int64)
+    extra = np.zeros(n_blocks, dtype=bool)
+
+    if n_blocks == 0 or not plan.levels:
+        return BatchSelection(found, level, start, count, bits, extra)
+
+    # Window sums at every level are gathers of one prefix-sum array:
+    # sum(lengths[s : s + w]) == prefix[s + w] - prefix[s].
+    prefix = np.zeros((n_blocks, plan.n_symbols + 1), dtype=np.int64)
+    np.cumsum(lengths, axis=1, out=prefix[:, 1:])
+
+    for level_plan in plan.levels:
+        pending = ~found
+        if not pending.any():
+            break
+        node_sums = (
+            prefix[np.ix_(pending, level_plan.starts + level_plan.window)]
+            - prefix[np.ix_(pending, level_plan.starts)]
+        )
+        eligible = node_sums >= required[pending, None]
+        hit = eligible.any(axis=1)
+        if not hit.any():
+            continue
+        first = eligible.argmax(axis=1)
+        rows = np.nonzero(pending)[0][hit]
+        chosen = first[hit]
+        found[rows] = True
+        level[rows] = level_plan.level
+        start[rows] = level_plan.starts[chosen]
+        count[rows] = level_plan.window
+        bits[rows] = node_sums[hit, chosen]
+        extra[rows] = level_plan.is_extra[chosen]
+
+    return BatchSelection(found, level, start, count, bits, extra)

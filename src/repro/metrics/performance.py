@@ -1,42 +1,59 @@
-"""Performance metrics: speedup, bandwidth/energy/EDP reductions, geomeans."""
+"""Performance metrics: speedup, bandwidth/energy/EDP reductions, geomeans.
+
+All helpers validate both operands uniformly: baselines must be strictly
+positive (every ratio here divides by the baseline), measured quantities must
+be positive where a zero is physically meaningless (execution times) and
+merely non-negative where it is not (traffic, energy, EDP — a perfect
+reduction is a valid data point).  Invalid operands raise :class:`ValueError`.
+"""
 
 from __future__ import annotations
 
 from repro.compression.stats import geometric_mean
 
 
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def _require_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
 def speedup(baseline_time_s: float, time_s: float) -> float:
     """Execution-time speedup of a scheme over a baseline (>1 is faster)."""
-    if time_s <= 0:
-        raise ValueError("execution time must be positive")
+    _require_positive("baseline_time_s", baseline_time_s)
+    _require_positive("time_s", time_s)
     return baseline_time_s / time_s
 
 
 def normalized_metric(value: float, baseline_value: float) -> float:
     """A metric normalized to a baseline (the y-axes of Figs. 7–9)."""
-    if baseline_value == 0:
-        raise ZeroDivisionError("baseline value is zero")
+    _require_positive("baseline_value", baseline_value)
+    _require_non_negative("value", value)
     return value / baseline_value
 
 
 def bandwidth_reduction_percent(baseline_bytes: float, bytes_transferred: float) -> float:
     """Percentage reduction in off-chip traffic relative to a baseline."""
-    if baseline_bytes <= 0:
-        raise ValueError("baseline traffic must be positive")
+    _require_positive("baseline_bytes", baseline_bytes)
+    _require_non_negative("bytes_transferred", bytes_transferred)
     return (1.0 - bytes_transferred / baseline_bytes) * 100.0
 
 
 def energy_reduction_percent(baseline_energy_j: float, energy_j: float) -> float:
     """Percentage reduction in energy relative to a baseline."""
-    if baseline_energy_j <= 0:
-        raise ValueError("baseline energy must be positive")
+    _require_positive("baseline_energy_j", baseline_energy_j)
+    _require_non_negative("energy_j", energy_j)
     return (1.0 - energy_j / baseline_energy_j) * 100.0
 
 
 def edp_reduction_percent(baseline_edp: float, edp: float) -> float:
     """Percentage reduction in energy-delay product relative to a baseline."""
-    if baseline_edp <= 0:
-        raise ValueError("baseline EDP must be positive")
+    _require_positive("baseline_edp", baseline_edp)
+    _require_non_negative("edp", edp)
     return (1.0 - edp / baseline_edp) * 100.0
 
 

@@ -122,3 +122,29 @@ def test_huffman_properties(frequencies):
     assert set(code.lengths) == set(frequencies)
     assert kraft_sum(code.lengths) <= 1.0 + 1e-9
     assert _is_prefix_free(code)
+
+
+def test_length_limit_at_exact_capacity_boundary():
+    """Length limiting at the 2**max_length == n_symbols boundary.
+
+    With exactly 2**max_length symbols the only valid length-limited code is
+    the fully balanced tree; the iterative frequency-flattening fallback must
+    reach it and keep the code a valid prefix code (Kraft <= 1).
+    """
+    for max_length in (3, 4, 5):
+        n = 1 << max_length
+        # wildly skewed frequencies force the unconstrained tree far past the cap
+        frequencies = {s: 1 << min(s, 60) for s in range(n)}
+        code = build_huffman_code(frequencies, max_length=max_length)
+        assert set(code.lengths) == set(frequencies)
+        assert max(code.lengths.values()) <= max_length
+        assert kraft_sum(code.lengths) <= 1.0 + 1e-9
+        # at exact capacity the balanced tree is the unique solution
+        assert all(length == max_length for length in code.lengths.values())
+        assert _is_prefix_free(code)
+
+
+def test_length_limit_below_capacity_raises():
+    frequencies = {s: 1 for s in range(9)}
+    with pytest.raises(ValueError):
+        build_huffman_code(frequencies, max_length=3)

@@ -69,8 +69,23 @@ def test_speedup_and_normalized():
     assert normalized_metric(0.8, 1.0) == 0.8
     with pytest.raises(ValueError):
         speedup(1.0, 0.0)
-    with pytest.raises(ZeroDivisionError):
+    with pytest.raises(ValueError):
         normalized_metric(1.0, 0.0)
+
+
+def test_speedup_validates_both_operands():
+    """Regression: the baseline operand must be validated like the other one."""
+    for baseline, time_s in [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (1.0, -2.0)]:
+        with pytest.raises(ValueError):
+            speedup(baseline, time_s)
+
+
+def test_normalized_metric_validates_both_operands():
+    assert normalized_metric(0.0, 2.0) == 0.0  # a zeroed metric is a valid point
+    with pytest.raises(ValueError):
+        normalized_metric(1.0, -1.0)
+    with pytest.raises(ValueError):
+        normalized_metric(-1.0, 1.0)
 
 
 def test_reduction_percentages():
@@ -79,6 +94,22 @@ def test_reduction_percentages():
     assert edp_reduction_percent(100, 82.5) == pytest.approx(17.5)
     with pytest.raises(ValueError):
         bandwidth_reduction_percent(0, 10)
+
+
+def test_reduction_percentages_validate_both_operands():
+    """Both operands are checked: positive baselines, non-negative measurements."""
+    for helper in (
+        bandwidth_reduction_percent,
+        energy_reduction_percent,
+        edp_reduction_percent,
+    ):
+        assert helper(100.0, 0.0) == pytest.approx(100.0)  # full reduction is valid
+        with pytest.raises(ValueError):
+            helper(0.0, 10.0)
+        with pytest.raises(ValueError):
+            helper(-5.0, 10.0)
+        with pytest.raises(ValueError):
+            helper(100.0, -1.0)
 
 
 def test_summarize_geomean():

@@ -120,6 +120,53 @@ def test_compression_stats_rejects_negative():
         CompressionStats().add_block(-1)
 
 
+def test_compression_stats_non_divisor_mag_bursts():
+    """Regression: MAGs that do not divide the block size must not undercount.
+
+    A 128 B block fetched at a 48 B MAG needs ceil(128/48) = 3 bursts; the old
+    accounting clamped the effective size at the block size and floor-divided,
+    reporting only 2.
+    """
+    stats = CompressionStats(block_size_bytes=128, mag_bytes=48)
+    stats.add_block(128 * 8)  # uncompressed block
+    assert stats.total_bursts == 3
+    assert stats.total_effective_bytes == 3 * 48
+    stats.add_block(50 * 8)  # 50 B -> 2 bursts of 48 B
+    assert stats.total_bursts == 3 + 2
+    assert stats.total_effective_bytes == 3 * 48 + 2 * 48
+    # bursts must always match bursts_for_size on the clamped size
+    assert bursts_for_size(128, 48) == 3
+    assert bursts_for_size(50, 48) == 2
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=300 * 8), min_size=1, max_size=64),
+    st.sampled_from([16, 32, 48, 64, 96]),
+)
+def test_add_blocks_matches_add_block(sizes_bits, mag_bytes):
+    """The vectorized batch accumulator is exactly the scalar loop."""
+    scalar = CompressionStats(block_size_bytes=128, mag_bytes=mag_bytes)
+    for size in sizes_bits:
+        scalar.add_block(size)
+    batch = CompressionStats(block_size_bytes=128, mag_bytes=mag_bytes)
+    batch.add_blocks(sizes_bits)
+    assert batch.total_blocks == scalar.total_blocks
+    assert batch.total_original_bytes == scalar.total_original_bytes
+    assert batch.total_compressed_bytes == pytest.approx(scalar.total_compressed_bytes)
+    assert batch.total_effective_bytes == scalar.total_effective_bytes
+    assert batch.total_bursts == scalar.total_bursts
+    assert batch.uncompressed_blocks == scalar.uncompressed_blocks
+    assert batch.extra_byte_histogram == scalar.extra_byte_histogram
+
+
+def test_add_blocks_rejects_negative_and_accepts_empty():
+    stats = CompressionStats()
+    stats.add_blocks([])
+    assert stats.total_blocks == 0
+    with pytest.raises(ValueError):
+        stats.add_blocks([8, -1])
+
+
 @given(st.integers(0, 2048), st.sampled_from([16, 32, 64]))
 def test_effective_size_invariants(compressed_bits, mag):
     """Property: effective size is a MAG multiple ≥ max(compressed, one MAG)."""
