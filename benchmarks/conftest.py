@@ -31,6 +31,13 @@ def pytest_addoption(parser):
         help="kernels microbenchmark smoke mode: fewer workloads, relaxed "
         "speedup floor (used by CI)",
     )
+    parser.addoption(
+        "--replay-quick",
+        action="store_true",
+        default=False,
+        help="replay microbenchmark smoke mode: fewer workloads, smaller "
+        "traces, relaxed speedup floor (used by CI)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -43,6 +50,12 @@ def slc_scale(request) -> float:
 def kernels_quick(request) -> bool:
     """Whether the kernels microbenchmark runs in CI smoke mode."""
     return bool(request.config.getoption("--kernels-quick"))
+
+
+@pytest.fixture(scope="session")
+def replay_quick(request) -> bool:
+    """Whether the replay microbenchmark runs in CI smoke mode."""
+    return bool(request.config.getoption("--replay-quick"))
 
 
 @pytest.fixture(scope="session")

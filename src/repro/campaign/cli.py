@@ -18,6 +18,7 @@ import argparse
 import csv
 import json
 import sys
+from collections import deque
 
 from repro._version import __version__
 from repro.campaign.executor import run_campaign
@@ -74,14 +75,60 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
-def _print_progress(record: JobRecord, done: int, total: int) -> None:
-    if record.cached:
-        detail = "cached"
-    elif record.ok:
-        detail = f"ran in {record.elapsed_s:.2f}s"
-    else:
-        detail = "FAILED"
-    print(f"[{done}/{total}] {record.job.label()}: {detail}", file=sys.stderr)
+def _format_duration(seconds: float) -> str:
+    """Compact duration: ``42s`` below a minute, ``m:ss`` / ``h:mm:ss`` above."""
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}:{secs:02d}"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Per-job progress lines with a rolling-mean ETA for the campaign.
+
+    Long sweeps print ``[done/total]`` plus, once at least one job has
+    actually simulated, the rolling mean job time and the estimated time
+    remaining (``remaining jobs x mean / workers``).  Cached cells and
+    failed jobs don't feed the mean — both finish much faster than a real
+    simulation and would make the ETA wildly optimistic.
+
+    Args:
+        workers: worker process count the ETA divides by.
+        window: number of recent job times in the rolling mean.
+        stream: output stream (stderr by default, like the progress lines).
+    """
+
+    def __init__(self, workers: int = 1, window: int = 16, stream=None) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.workers = max(1, workers)
+        self._recent: deque[float] = deque(maxlen=window)
+        self._stream = stream
+
+    def __call__(self, record: JobRecord, done: int, total: int) -> None:
+        """The :data:`~repro.campaign.executor.ProgressFn` hook."""
+        if record.cached:
+            detail = "cached"
+        elif record.ok:
+            detail = f"ran in {record.elapsed_s:.2f}s"
+        else:
+            detail = "FAILED"
+        if not record.cached and record.ok:
+            # Failed jobs abort early; their elapsed time would drag the
+            # mean toward zero and make the ETA wildly optimistic.
+            self._recent.append(record.elapsed_s)
+        eta = ""
+        remaining = total - done
+        if self._recent and remaining:
+            mean_s = sum(self._recent) / len(self._recent)
+            estimate = remaining * mean_s / self.workers
+            eta = f" (avg {mean_s:.2f}s/job, ETA {_format_duration(estimate)})"
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(f"[{done}/{total}] {record.job.label()}: {detail}{eta}", file=stream)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -94,7 +141,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     store = ResultStore(args.dir)
     store.save_spec(spec)
-    progress = None if args.quiet else _print_progress
+    progress = None if args.quiet else ProgressReporter(workers=args.workers)
     outcome = run_campaign(spec, store=store, workers=args.workers, progress=progress)
     print(
         f"campaign '{spec.name}': {outcome.n_total} jobs — "

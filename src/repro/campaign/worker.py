@@ -65,7 +65,9 @@ def build_backend(
     )
 
 
-def simulate_job(job: Job, batch_store: bool = True) -> SimulationResult:
+def simulate_job(
+    job: Job, batch_store: bool = True, replay_mode: str = "vectorized"
+) -> SimulationResult:
     """Run one job to completion and return its simulation result.
 
     Args:
@@ -74,9 +76,15 @@ def simulate_job(job: Job, batch_store: bool = True) -> SimulationResult:
             the vectorized analysis kernels (:mod:`repro.kernels`).  Results
             are identical either way; the kernels microbenchmark flips this
             off to measure the scalar path.
+        replay_mode: trace-replay engine for the kernel-execution phase —
+            ``"vectorized"`` (default, :mod:`repro.replay`) or ``"scalar"``
+            (the per-access reference loop).  Results are identical either
+            way; the replay microbenchmark flips this to measure both.
     """
     config = overrides_to_config(job.config_overrides)
-    simulator = GPUSimulator(config=config, batch_store=batch_store)
+    simulator = GPUSimulator(
+        config=config, batch_store=batch_store, replay_mode=replay_mode
+    )
     kwargs: dict = {"seed": job.seed}
     if job.scale is not None:
         kwargs["scale"] = job.scale

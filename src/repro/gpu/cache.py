@@ -102,6 +102,11 @@ class SetAssociativeCache:
     def flush(self) -> int:
         """Write back all dirty lines and empty the cache.
 
+        Every resident line leaves the cache, so the ``evictions`` counter
+        grows by the pre-flush occupancy — the same accounting as a capacity
+        eviction in :meth:`access` (it used to count only capacity evictions,
+        silently undercounting lines removed by a flush).
+
         Returns:
             The number of dirty lines written back.
         """
@@ -110,6 +115,7 @@ class SetAssociativeCache:
             for _, dirty in cache_set.items():
                 if dirty:
                     writebacks += 1
+            self.stats.evictions += len(cache_set)
             cache_set.clear()
         self.stats.writebacks += writebacks
         return writebacks

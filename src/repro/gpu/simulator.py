@@ -20,6 +20,8 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.energy import EnergyBreakdown, EnergyModel
 from repro.gpu.memory_controller import MemoryController
 from repro.gpu.sm import SMCluster
+from repro.replay.engine import replay_trace
+from repro.replay.reference import replay_trace_scalar
 from repro.utils.blocks import array_to_blocks, blocks_to_array
 from repro.utils.sampling import sample_evenly
 from repro.workloads.base import Region, Workload, WorkloadOutput
@@ -170,7 +172,16 @@ class GPUSimulator:
             ``store_batch`` call per region instead of one ``store`` call per
             block.  Results are identical; disable only to benchmark the
             scalar path.
+        replay_mode: how the kernel-execution phase replays the block trace.
+            ``"vectorized"`` (the default) runs the array engine
+            (:mod:`repro.replay`): compiled trace, reuse-distance L2,
+            batched miss-path accounting.  ``"scalar"`` runs the original
+            per-access loop.  Results are bit-identical; the scalar mode
+            exists as the reference oracle and for benchmarking.
     """
+
+    #: valid ``replay_mode`` values
+    REPLAY_MODES = ("vectorized", "scalar")
 
     def __init__(
         self,
@@ -180,6 +191,7 @@ class GPUSimulator:
         overlap_penalty: float = 0.15,
         train_samples: int = 1024,
         batch_store: bool = True,
+        replay_mode: str = "vectorized",
     ) -> None:
         self.config = config or GPUConfig()
         self.energy_model = energy_model or EnergyModel()
@@ -188,9 +200,14 @@ class GPUSimulator:
             raise ValueError("overlap_penalty must be within [0, 1]")
         if train_samples <= 0:
             raise ValueError("train_samples must be positive")
+        if replay_mode not in self.REPLAY_MODES:
+            raise ValueError(
+                f"replay_mode must be one of {self.REPLAY_MODES}, got {replay_mode!r}"
+            )
         self.overlap_penalty = overlap_penalty
         self.train_samples = train_samples
         self.batch_store = batch_store
+        self.replay_mode = replay_mode
 
     # ------------------------------------------------------------------ #
     # public API
@@ -257,25 +274,20 @@ class GPUSimulator:
                     )
 
         # Kernel execution: replay the workload's block trace through the L2.
+        # The vectorized engine (repro.replay) and the scalar per-access loop
+        # produce bit-identical counters; the engine is the default because
+        # trace replay dominates sweep time.
         trace = workload.trace(all_regions, block_size_bytes=block_size)
-        for access in trace:
-            region = all_regions[access.region]
-            address = base_addresses[access.region] + access.block_index
-            for _ in range(access.count):
-                hit = l2.access(address, is_write=access.is_write)
-                if hit:
-                    continue
-                controller = self._controller(controllers, address)
-                if access.is_write:
-                    block = region_blocks[access.region][access.block_index]
-                    controller.store_block(
-                        address,
-                        block,
-                        approximable=region.approximable,
-                        count_traffic=True,
-                    )
-                else:
-                    controller.read_block(address)
+        replay = replay_trace if self.replay_mode == "vectorized" else replay_trace_scalar
+        replay(
+            trace,
+            all_regions=all_regions,
+            region_blocks=region_blocks,
+            base_addresses=base_addresses,
+            l2=l2,
+            controllers=controllers,
+            interleave_blocks=self.CHANNEL_INTERLEAVE_BLOCKS,
+        )
 
         error_percent = 0.0
         if compute_error:

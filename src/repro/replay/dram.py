@@ -1,0 +1,87 @@
+"""Batched row-buffer accounting for a GDDR5 channel.
+
+Replaces per-request :meth:`~repro.gpu.dram.DRAMChannel.service` calls with
+one grouped scan: requests are partitioned by bank (stable, so per-bank
+order is the service order), row hits and misses fall out of comparing each
+request's row with its predecessor in the same bank — seeded from the
+channel's currently open rows, so state composes across kernels and a
+:meth:`~repro.gpu.dram.DRAMChannel.reset_rows` between two scans is honored
+— and the busy-cycle total is a handful of reductions over the burst counts
+and miss penalties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.dram import DRAMChannel
+
+
+def replay_dram(
+    channel: DRAMChannel, byte_addresses: np.ndarray, bursts: np.ndarray
+) -> None:
+    """Serve a request stream on ``channel`` at array speed.
+
+    Mutates the channel (stats and per-bank open rows) exactly as the
+    equivalent sequence of ``channel.service(address, bursts)`` calls would.
+
+    Args:
+        channel: the channel to account the requests on.
+        byte_addresses: per-request byte addresses, in service order.
+        bursts: per-request MAG burst counts.
+    """
+    byte_addresses = np.asarray(byte_addresses, dtype=np.int64)
+    bursts = np.asarray(bursts, dtype=np.int64)
+    n = byte_addresses.shape[0]
+    if n == 0:
+        return
+    if bursts.min() <= 0:
+        raise ValueError("bursts must be positive")
+
+    timing = channel.timing
+    rows = byte_addresses // timing.row_bytes
+    banks = rows % timing.num_banks
+
+    order = np.argsort(banks, kind="stable")
+    sorted_banks = banks[order]
+    sorted_rows = rows[order]
+
+    # Previous row in the same bank; the first request of each bank group
+    # compares against the bank's currently open row (-1 = precharged).
+    previous_rows = np.empty(n, dtype=np.int64)
+    previous_rows[1:] = sorted_rows[:-1]
+    group_start = np.empty(n, dtype=np.bool_)
+    group_start[0] = True
+    group_start[1:] = sorted_banks[1:] != sorted_banks[:-1]
+    start_indices = np.nonzero(group_start)[0]
+    open_rows = np.fromiter(
+        (
+            -1 if (open_row := channel._open_rows[int(bank)]) is None else open_row
+            for bank in sorted_banks[start_indices]
+        ),
+        np.int64,
+        len(start_indices),
+    )
+    previous_rows[start_indices] = open_rows
+
+    miss = sorted_rows != previous_rows
+    pays_precharge = miss & (previous_rows != -1)
+    row_misses = int(miss.sum())
+    busy = (
+        int(bursts.sum()) * max(timing.burst_cycles, timing.t_ccd)
+        + row_misses * timing.t_rcd
+        + int(pays_precharge.sum()) * timing.t_rp
+    )
+
+    channel.stats.requests += n
+    channel.stats.bursts += int(bursts.sum())
+    channel.stats.row_hits += n - row_misses
+    channel.stats.row_misses += row_misses
+    channel.stats.busy_cycles += busy
+
+    # The last request of each bank group leaves its row open.
+    end_indices = np.append(start_indices[1:] - 1, n - 1)
+    for bank, row in zip(
+        sorted_banks[end_indices].tolist(), sorted_rows[end_indices].tolist()
+    ):
+        channel._open_rows[bank] = row

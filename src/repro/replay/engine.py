@@ -1,0 +1,198 @@
+"""The vectorized trace-replay engine.
+
+Reproduces the scalar kernel-execution loop of ``GPUSimulator.run`` —
+per-access L2 lookups, per-miss memory-controller method chains — as a
+handful of array passes, bit-exact on every counter the simulation result is
+assembled from:
+
+1. the trace is compiled to flat address/write/count arrays
+   (:meth:`~repro.gpu.trace.MemoryTrace.compile`),
+2. the L2 resolves all hits at once (:func:`~repro.replay.l2.replay_l2`)
+   yielding the miss stream in trace order,
+3. write misses go through the backend's batched analysis kernels
+   (``store_batch``), grouped by the region's ``approximable`` flag,
+4. the miss stream is partitioned per memory controller
+   (``CHANNEL_INTERLEAVE_BLOCKS`` interleave) and each controller's events
+   run through a vectorized storage-timeline forward fill (the burst count a
+   read fetches is the one recorded by the latest preceding store), the MDC
+   model (:func:`~repro.replay.mdc.replay_mdc`) and the grouped DRAM
+   row-buffer scan (:func:`~repro.replay.dram.replay_dram`).
+
+The mutated objects (L2, controllers, their MDCs, channels and storage, and
+the backend's own counters) end up in the same state the scalar loop leaves
+them in, so result assembly and the degraded-input error computation are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.memory_controller import MemoryController
+from repro.gpu.trace import MemoryTrace
+from repro.replay.dram import replay_dram
+from repro.replay.l2 import replay_l2
+from repro.replay.mdc import replay_mdc
+from repro.workloads.base import Region
+
+
+def replay_trace(
+    trace: MemoryTrace,
+    *,
+    all_regions: dict[str, Region],
+    region_blocks: dict[str, list[bytes]],
+    base_addresses: dict[str, int],
+    l2: SetAssociativeCache,
+    controllers: list[MemoryController],
+    interleave_blocks: int,
+) -> None:
+    """Replay the kernel's block trace at array speed.
+
+    Same signature and same observable effects as
+    :func:`~repro.replay.reference.replay_trace_scalar`.
+    """
+    compiled = trace.compile(base_addresses)
+    miss_mask = replay_l2(l2, compiled.addresses, compiled.is_write, compiled.counts)
+    if not miss_mask.any():
+        return
+
+    miss_addr = compiled.addresses[miss_mask]
+    miss_write = compiled.is_write[miss_mask]
+    miss_region = compiled.region_index[miss_mask]
+    miss_block = compiled.block_index[miss_mask]
+    n_miss = miss_addr.shape[0]
+    backend = controllers[0].backend
+
+    # ------------------------------------------------------------------ #
+    # write misses: batched compression decisions, grouped by approximable
+    # flag (per-block results and the backend's own counters are identical
+    # to per-miss ``store`` calls; only the call grouping differs).
+    stored_by_miss: list = [None] * n_miss
+    miss_bursts = np.zeros(n_miss, dtype=np.int64)
+    write_indices = np.nonzero(miss_write)[0]
+    if write_indices.size:
+        region_names = compiled.regions
+        approximable = np.fromiter(
+            (all_regions[name].approximable for name in region_names),
+            np.bool_,
+            len(region_names),
+        )
+        write_approx = approximable[miss_region[write_indices]]
+        for flag in (True, False):
+            selected = write_indices[write_approx == flag]
+            if not selected.size:
+                continue
+            blocks = [
+                region_blocks[region_names[ri]][bi]
+                for ri, bi in zip(
+                    miss_region[selected].tolist(), miss_block[selected].tolist()
+                )
+            ]
+            for i, stored in zip(
+                selected.tolist(), backend.store_batch(blocks, approximable=flag)
+            ):
+                stored_by_miss[i] = stored
+                miss_bursts[i] = stored.bursts
+
+    # ------------------------------------------------------------------ #
+    # per-controller miss-path accounting
+    controller_index = (miss_addr // interleave_blocks) % len(controllers)
+    by_controller = np.argsort(controller_index, kind="stable")
+    counts = np.bincount(controller_index, minlength=len(controllers))
+    offsets = np.cumsum(counts) - counts
+    for c, controller in enumerate(controllers):
+        if not counts[c]:
+            continue
+        events = by_controller[offsets[c] : offsets[c] + counts[c]]
+        _replay_controller(
+            controller,
+            addresses=miss_addr[events],
+            is_write=miss_write[events],
+            stored_bursts=miss_bursts[events],
+            stored_blocks=[stored_by_miss[i] for i in events.tolist()],
+        )
+
+
+def _replay_controller(
+    controller: MemoryController,
+    *,
+    addresses: np.ndarray,
+    is_write: np.ndarray,
+    stored_bursts: np.ndarray,
+    stored_blocks: list,
+) -> None:
+    """Account one controller's miss events (in service order)."""
+    n = addresses.shape[0]
+    is_read = ~is_write
+    backend_max = controller.backend.max_bursts
+
+    # Storage timeline: the burst count a read fetches is the one recorded
+    # by the latest preceding store of that address — seeded from the
+    # controller's storage (host-to-device copies), advanced by write
+    # misses.  Computed as a per-address forward fill over events sorted by
+    # (address, time).
+    unique = np.unique(addresses)
+    storage = controller._storage
+    initial_bursts = np.fromiter(
+        (
+            stored.bursts if (stored := storage.get(address)) is not None else backend_max
+            for address in unique.tolist()
+        ),
+        np.int64,
+        unique.shape[0],
+    )
+    by_address = np.argsort(addresses, kind="stable")
+    sorted_addresses = addresses[by_address]
+    sorted_writes = is_write[by_address]
+    sorted_bursts = stored_bursts[by_address]
+    group = np.searchsorted(unique, sorted_addresses)
+    group_start = np.searchsorted(sorted_addresses, unique)
+    last_store = np.maximum.accumulate(
+        np.where(sorted_writes, np.arange(n), -1)
+    )
+    stored_before = last_store >= group_start[group]
+    sorted_actual = np.where(
+        stored_before,
+        sorted_bursts[np.maximum(last_store, 0)],
+        initial_bursts[group],
+    )
+    actual = np.empty(n, dtype=np.int64)
+    actual[by_address] = sorted_actual
+
+    # MDC: reads do a lookup (miss -> conservative worst-case fetch), every
+    # event refreshes the entry with the current burst count.
+    values = np.where(is_write, stored_bursts, actual)
+    mdc_hit = replay_mdc(controller.mdc, addresses, is_read, values)
+    fetched = np.where(
+        is_write,
+        stored_bursts,
+        np.where(mdc_hit, actual, controller.mdc.max_bursts),
+    )
+
+    stats = controller.stats
+    n_reads = int(is_read.sum())
+    n_writes = n - n_reads
+    stats.reads += n_reads
+    stats.writes += n_writes
+    stats.read_bursts += int(fetched[is_read].sum())
+    stats.write_bursts += int(stored_bursts[is_write].sum())
+    stats.decompress_invocations += n_reads
+    stats.compress_invocations += n_writes
+    stats.mdc_extra_bursts += int((fetched[is_read] - actual[is_read]).sum())
+    stats.lossy_blocks += sum(
+        1 for stored in stored_blocks if stored is not None and stored.lossy
+    )
+
+    # Storage ends up holding each written address's final stored block.
+    group_end = group_start + np.diff(np.append(group_start, n)) - 1
+    final_store = last_store[group_end]
+    for g in np.nonzero(final_store >= group_start)[0].tolist():
+        event = int(by_address[final_store[g]])
+        storage[int(unique[g])] = stored_blocks[event]
+
+    replay_dram(
+        controller.channel,
+        addresses * controller.block_size_bytes,
+        fetched,
+    )

@@ -1,0 +1,161 @@
+"""Array model of the set-associative LRU L2 cache.
+
+The scalar :class:`~repro.gpu.cache.SetAssociativeCache` walks one
+``OrderedDict`` per access.  This module resolves a whole compiled trace at
+once: accesses are partitioned by set index, and hits are decided by reuse
+distance — an access hits iff fewer than ``ways`` distinct lines in its set
+were touched since the line's previous use.  The reuse distance is computed
+exactly by advancing a bounded LRU *stack* (the ``ways`` most recently
+touched distinct lines, most recent first) for every set simultaneously: the
+per-set access streams are padded into a matrix and the stacks advance one
+column at a time, so the Python-level loop runs ``O(max accesses per set)``
+iterations instead of ``O(total accesses)`` — each iteration a handful of
+NumPy operations over all sets.  A matched stack position *is* the access's
+reuse distance; position ``>= ways`` (not found) is a miss.
+
+Dirty state rides along in a parallel stack, which makes eviction and
+writeback accounting exact: the victim of a miss in a full set is the
+stack's last entry, and a writeback is charged iff its dirty bit is set —
+identical to the scalar model, which is kept as the n = 1 reference oracle.
+
+Back-to-back repeats (``counts > 1``) never expand: the first access of a
+run resolves normally and the remaining ``count - 1`` are guaranteed hits on
+the just-touched MRU line, exactly as in the scalar loop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.gpu.cache import SetAssociativeCache
+
+
+def replay_l2(
+    cache: SetAssociativeCache,
+    addresses: np.ndarray,
+    is_write: np.ndarray,
+    counts: np.ndarray | None = None,
+) -> np.ndarray:
+    """Replay a block-address stream through ``cache`` at array speed.
+
+    Mutates ``cache`` exactly as the equivalent sequence of
+    :meth:`~repro.gpu.cache.SetAssociativeCache.access` calls would — stats
+    counters and the resident lines (with LRU order and dirty flags) end up
+    identical.
+
+    Args:
+        cache: the cache to replay into (its current contents are the
+            initial state, so successive replays compose).
+        addresses: per-access global block addresses.
+        is_write: per-access write flags.
+        counts: optional per-access back-to-back repeat counts (RLE); a
+            repeat contributes ``count - 1`` extra hits and nothing else.
+
+    Returns:
+        Boolean miss mask aligned with ``addresses`` (one entry per RLE
+        access: only the first access of a repeat run can miss).
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    is_write = np.asarray(is_write, dtype=np.bool_)
+    n = addresses.shape[0]
+    miss_mask = np.zeros(n, dtype=np.bool_)
+    if counts is not None:
+        counts = np.asarray(counts, dtype=np.int64)
+        cache.stats.hits += int((counts - 1).sum())
+    if n == 0:
+        return miss_mask
+    if addresses.min() < 0:
+        raise ValueError("block address must be non-negative")
+
+    num_sets, ways = cache.num_sets, cache.ways
+    set_idx = addresses % num_sets
+
+    # Stable partition by set: within a set, original order is preserved.
+    order = np.argsort(set_idx, kind="stable")
+    per_set = np.bincount(set_idx, minlength=num_sets)
+    starts = np.cumsum(per_set) - per_set
+
+    # Rows = active sets sorted by stream length (descending), so at column t
+    # the active rows are a prefix and shorter streams simply drop out.
+    active_sets = np.nonzero(per_set)[0]
+    lengths = per_set[active_sets]
+    by_length = np.argsort(-lengths, kind="stable")
+    active_sets, lengths = active_sets[by_length], lengths[by_length]
+    rows = active_sets.shape[0]
+    max_len = int(lengths[0])
+    row_of_set = np.full(num_sets, -1, dtype=np.int64)
+    row_of_set[active_sets] = np.arange(rows)
+
+    addr_mat = np.full((rows, max_len), -1, dtype=np.int64)
+    write_mat = np.zeros((rows, max_len), dtype=np.bool_)
+    pos_mat = np.zeros((rows, max_len), dtype=np.int64)
+    sorted_sets = set_idx[order]
+    row_col = (row_of_set[sorted_sets], np.arange(n) - starts[sorted_sets])
+    addr_mat[row_col] = addresses[order]
+    write_mat[row_col] = is_write[order]
+    pos_mat[row_col] = order
+
+    # LRU stacks (MRU first) seeded from the cache's current contents.
+    stack = np.full((rows, ways), -1, dtype=np.int64)
+    dirty = np.zeros((rows, ways), dtype=np.bool_)
+    for row, set_index in enumerate(active_sets.tolist()):
+        for col, (line, line_dirty) in enumerate(
+            reversed(cache._sets[set_index].items())
+        ):
+            stack[row, col] = line
+            dirty[row, col] = line_dirty
+
+    hits = misses = evictions = writebacks = 0
+    col_idx = np.arange(ways)
+    # Number of rows still active at each column (lengths are descending).
+    active_at = np.searchsorted(-lengths, -np.arange(max_len), side="left")
+    for t in range(max_len):
+        k = int(active_at[t])
+        stacks, dirts = stack[:k], dirty[:k]
+        addr = addr_mat[:k, t]
+        write = write_mat[:k, t]
+
+        match = stacks == addr[:, None]
+        found = match.any(axis=1)
+        pos = match.argmax(axis=1)
+        victim = stacks[:, -1].copy()
+        victim_dirty = dirts[:, -1].copy()
+        new_dirty = (found & dirts[np.arange(k), pos]) | write
+
+        # Rotate each stack: entries up to the touch point shift right and
+        # the accessed line becomes MRU; a miss rotates the whole row,
+        # pushing the LRU victim out.
+        shifted = np.empty_like(stacks)
+        shifted[:, 0] = addr
+        shifted[:, 1:] = stacks[:, :-1]
+        shifted_dirty = np.empty_like(dirts)
+        shifted_dirty[:, 0] = new_dirty
+        shifted_dirty[:, 1:] = dirts[:, :-1]
+        cut = np.where(found, pos, ways - 1)
+        moved = col_idx[None, :] <= cut[:, None]
+        stack[:k] = np.where(moved, shifted, stacks)
+        dirty[:k] = np.where(moved, shifted_dirty, dirts)
+
+        miss = ~found
+        evicted = miss & (victim != -1)
+        hits += int(found.sum())
+        misses += int(miss.sum())
+        evictions += int(evicted.sum())
+        writebacks += int((evicted & victim_dirty).sum())
+        miss_mask[pos_mat[:k, t][miss]] = True
+
+    cache.stats.hits += hits
+    cache.stats.misses += misses
+    cache.stats.evictions += evictions
+    cache.stats.writebacks += writebacks
+
+    # Write the final stacks back as OrderedDicts (LRU -> MRU order).
+    for row, set_index in enumerate(active_sets.tolist()):
+        resident: OrderedDict[int, bool] = OrderedDict()
+        for col in range(ways - 1, -1, -1):
+            if stack[row, col] != -1:
+                resident[int(stack[row, col])] = bool(dirty[row, col])
+        cache._sets[set_index] = resident
+    return miss_mask

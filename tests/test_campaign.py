@@ -237,6 +237,51 @@ def test_progress_callback_sees_every_job():
     assert seen == [(1, 2), (2, 2)]
 
 
+def test_progress_reporter_prints_rolling_eta():
+    import io
+
+    from repro.campaign.cli import ProgressReporter
+    from repro.campaign.spec import Job
+
+    stream = io.StringIO()
+    reporter = ProgressReporter(workers=2, stream=stream)
+    job = Job(workload="NN", scheme="E2MC", compute_error=False)
+    # A cached cell reports but contributes no timing (and thus no ETA yet).
+    reporter(JobRecord(job=job, status="ok", cached=True), 1, 5)
+    # Executed cells feed the rolling mean; 3 jobs left at 4 s mean over
+    # 2 workers -> ETA 6 s.
+    reporter(JobRecord(job=job, status="ok", elapsed_s=4.0), 2, 5)
+    lines = stream.getvalue().splitlines()
+    assert lines[0].startswith("[1/5]")
+    assert "ETA" not in lines[0]
+    assert "avg 4.00s/job" in lines[1]
+    assert "ETA 6s" in lines[1]
+    # Failed jobs abort early and must not drag the mean toward zero.
+    reporter(JobRecord(job=job, status="error", elapsed_s=0.001), 3, 5)
+    assert "avg 4.00s/job" in stream.getvalue().splitlines()[-1]
+    # The final job prints no ETA (nothing remaining).
+    reporter(JobRecord(job=job, status="ok", elapsed_s=2.0), 5, 5)
+    assert "ETA" not in stream.getvalue().splitlines()[-1]
+
+
+def test_progress_reporter_is_a_valid_campaign_progress_hook():
+    import io
+
+    from repro.campaign.cli import ProgressReporter
+
+    stream = io.StringIO()
+    spec = CampaignSpec(
+        workloads=("NN",), schemes=("E2MC", "TSLC-SIMP"), scales=(TINY,),
+        compute_error=False,
+    )
+    run_campaign(spec, progress=ProgressReporter(stream=stream))
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("[1/2]")
+    assert "ETA" in lines[0]  # one job remaining after the first completes
+    assert lines[1].startswith("[2/2]")
+
+
 def test_timing_only_request_served_from_error_computed_record(tmp_path):
     """A stored result that computed the application error is a strict
     superset of a timing-only request for the same cell."""

@@ -1,5 +1,7 @@
 """Tests for the GPU substrate: config, cache, DRAM, interconnect, SM, energy."""
 
+import time
+
 import pytest
 
 from repro.gpu.cache import SetAssociativeCache
@@ -92,6 +94,59 @@ def test_trace_strided_stream_covers_all_blocks():
     assert visited != list(range(10))  # actually strided
 
 
+def test_trace_regions_first_use_order_on_long_multi_region_trace():
+    """regions() is one linear pass (it used to be an O(n²) list scan)."""
+    trace = MemoryTrace()
+    num_regions = 2000
+    for i in range(200_000):
+        trace.append(MemoryAccess(f"r{i % num_regions}", i))
+    start = time.perf_counter()
+    regions = trace.regions()
+    elapsed = time.perf_counter() - start
+    assert regions == [f"r{i}" for i in range(num_regions)]
+    assert elapsed < 5.0, f"regions() took {elapsed:.1f}s on a 200k-access trace"
+
+
+def test_trace_stream_segments_match_appended_accesses():
+    """add_stream's array segments expand to the same per-access sequence."""
+    streamed = MemoryTrace()
+    streamed.add_stream("a", 10, AccessType.READ, passes=2, stride=3)
+    streamed.add_stream("b", 4, AccessType.WRITE)
+    appended = MemoryTrace()
+    for offset in range(3):
+        for block in range(offset, 10, 3):
+            appended.append(MemoryAccess("a", block))
+    appended.extend(appended.accesses[:10])  # second pass
+    for block in range(4):
+        appended.append(MemoryAccess("b", block, AccessType.WRITE))
+    assert streamed.accesses == appended.accesses
+    assert len(streamed) == len(appended) == 24
+
+
+def test_trace_as_arrays_and_compile():
+    trace = MemoryTrace()
+    trace.add_stream("a", 3, AccessType.READ)
+    trace.append(MemoryAccess("b", 1, AccessType.WRITE, count=2))
+    arrays = trace.as_arrays()
+    assert arrays.regions == ("a", "b")
+    assert arrays.block_index.tolist() == [0, 1, 2, 1]
+    assert arrays.is_write.tolist() == [False, False, False, True]
+    assert arrays.counts.tolist() == [1, 1, 1, 2]
+
+    compiled = trace.compile({"a": 10, "b": 20})
+    assert compiled.addresses.tolist() == [10, 11, 12, 21]
+    assert compiled.total_accesses == 5
+    expanded_addresses, expanded_writes = compiled.expanded()
+    assert expanded_addresses.tolist() == [10, 11, 12, 21, 21]
+    assert expanded_writes.tolist() == [False, False, False, True, True]
+
+
+def test_empty_trace_compiles_to_empty_arrays():
+    compiled = MemoryTrace().compile({})
+    assert len(compiled) == 0
+    assert compiled.total_accesses == 0
+
+
 def test_memory_access_validation():
     with pytest.raises(ValueError):
         MemoryAccess("r", -1)
@@ -144,6 +199,25 @@ def test_cache_flush_writes_back_dirty_lines():
     cache.access(2)
     assert cache.flush() == 1
     assert cache.occupancy == 0
+
+
+def test_cache_flush_counts_flushed_lines_as_evictions():
+    """Every line a flush removes is an eviction, same as a capacity victim.
+
+    (flush() used to leave the evictions counter untouched, undercounting
+    removed lines against the documented counter semantics.)
+    """
+    cache = SetAssociativeCache(16 * 1024)
+    cache.access(1, is_write=True)
+    cache.access(2)
+    cache.access(3)
+    assert cache.stats.evictions == 0
+    assert cache.flush() == 1
+    assert cache.stats.evictions == 3
+    assert cache.stats.writebacks == 1
+    # a second flush of the now-empty cache adds nothing
+    assert cache.flush() == 0
+    assert cache.stats.evictions == 3
 
 
 def test_cache_negative_address_rejected():
