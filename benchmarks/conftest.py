@@ -38,6 +38,13 @@ def pytest_addoption(parser):
         help="replay microbenchmark smoke mode: fewer workloads, smaller "
         "traces, relaxed speedup floor (used by CI)",
     )
+    parser.addoption(
+        "--codec-quick",
+        action="store_true",
+        default=False,
+        help="payload-codec microbenchmark smoke mode: fewer workloads, "
+        "relaxed speedup floors (used by CI)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -56,6 +63,12 @@ def kernels_quick(request) -> bool:
 def replay_quick(request) -> bool:
     """Whether the replay microbenchmark runs in CI smoke mode."""
     return bool(request.config.getoption("--replay-quick"))
+
+
+@pytest.fixture(scope="session")
+def codec_quick(request) -> bool:
+    """Whether the payload-codec microbenchmark runs in CI smoke mode."""
+    return bool(request.config.getoption("--codec-quick"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,135 @@
+"""BENCH-C — batched payload codec vs. the per-symbol scalar path.
+
+Measures bit-level payload materialization — Huffman compress + decompress of
+every block of each paper workload's regions — comparing the vectorized codec
+(:mod:`repro.kernels.codec` via ``compress_batch``/``decompress_batch``)
+against the per-symbol ``BitWriter``/``BitReader`` loops it replaces, plus
+the end-to-end effect of the batched ``apply_decision`` path on a TSLC-OPT
+campaign job.  Full mode (the default) sweeps all nine workloads and asserts
+the ≥5× codec / ≥1.5× job floors; ``--codec-quick`` is the CI smoke mode
+(three workloads, relaxed floors) so the codec path is exercised on every
+push.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.campaign.spec import Job
+from repro.campaign.worker import simulate_job
+from repro.compression.stats import geometric_mean
+from repro.core.config import SLCConfig, SLCVariant
+from repro.core.slc import SLCCompressor
+from repro.utils.blocks import array_to_blocks
+from repro.utils.sampling import sample_evenly
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER, get_workload
+
+QUICK_WORKLOADS = ("NN", "FWT", "DCT")
+#: acceptance target for the full 9-workload sweep slice
+FULL_CODEC_FLOOR = 5.0
+#: relaxed floor for the CI smoke run (shared runners are noisy)
+QUICK_CODEC_FLOOR = 2.0
+#: end-to-end TSLC-OPT job floors (codec is one phase of a job); quick mode
+#: allows 10% regression headroom for noisy shared runners, matching the
+#: replay benchmark's smoke-mode convention
+FULL_JOB_FLOOR = 1.5
+QUICK_JOB_FLOOR = 0.9
+#: per-workload block cap: the scalar path is ~1 ms/block, so the full
+#: sweep stays a few seconds while the geometric mean stays representative
+MAX_BLOCKS = 384
+
+
+def _workload_blocks(name: str, scale: float) -> list[bytes]:
+    workload = get_workload(name, scale=scale, seed=2019)
+    blocks = [
+        block
+        for region in workload.generate().values()
+        for block in array_to_blocks(region.array)
+    ]
+    return sample_evenly(blocks, MAX_BLOCKS)
+
+
+def _time(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_codec_roundtrip_speedup(benchmark, slc_scale, codec_quick):
+    """compress_batch + decompress_batch vs. the per-block scalar codec."""
+    names = QUICK_WORKLOADS if codec_quick else PAPER_WORKLOAD_ORDER
+    floor = QUICK_CODEC_FLOOR if codec_quick else FULL_CODEC_FLOOR
+    config = SLCConfig(variant=SLCVariant.OPT)
+
+    speedups: dict[str, float] = {}
+    rows = []
+    for name in names:
+        blocks = _workload_blocks(name, slc_scale)
+        slc = SLCCompressor(config)
+        slc.train(sample_evenly(blocks, 1024))
+
+        def scalar() -> None:
+            compressed = [slc.compress(block) for block in blocks]
+            for block in compressed:
+                slc.decompress(block)
+
+        def batch() -> None:
+            slc.decompress_batch(slc.compress_batch(blocks))
+
+        scalar_s = _time(scalar)
+        batch_s = _time(batch)
+        speedups[name] = scalar_s / batch_s
+        rows.append(
+            f"{name:<8} {len(blocks):>4} blocks  scalar {scalar_s * 1e3:8.2f} ms  "
+            f"batch {batch_s * 1e3:8.2f} ms  speedup {speedups[name]:6.1f}x"
+        )
+
+    gm = geometric_mean(list(speedups.values()))
+    print()
+    print("BENCH-C — batched payload codec vs. per-symbol scalar path")
+    for row in rows:
+        print(row)
+    print(f"{'GM':<8} {'':>12}  speedup {gm:6.1f}x  (floor {floor:.0f}x)")
+
+    # time the batch codec once more under pytest-benchmark for the report
+    blocks = _workload_blocks(names[0], slc_scale)
+    slc = SLCCompressor(config)
+    slc.train(sample_evenly(blocks, 1024))
+    benchmark.pedantic(
+        lambda: slc.decompress_batch(slc.compress_batch(blocks)),
+        rounds=3,
+        iterations=1,
+    )
+
+    assert gm >= floor, f"batched codec only {gm:.1f}x over scalar (floor {floor}x)"
+
+
+def test_bench_codec_end_to_end_job(slc_scale, codec_quick):
+    """The batched apply_decision path must speed up a full TSLC-OPT job.
+
+    The payload codec runs in every store (host-to-device copies and write
+    misses), so with analysis and replay already vectorized it dominates
+    TSLC job time; the batched path must clear the floor end to end.
+    """
+    floor = QUICK_JOB_FLOOR if codec_quick else FULL_JOB_FLOOR
+    job = Job(
+        workload="NN",
+        scheme="TSLC-OPT",
+        scale=slc_scale,
+        seed=2019,
+        compute_error=False,
+    )
+    batch_s = _time(lambda: simulate_job(job), repeats=2)
+    scalar_s = _time(lambda: simulate_job(job, batch_codec=False), repeats=2)
+    speedup = scalar_s / batch_s
+    print(
+        f"\nend-to-end NN/TSLC-OPT job: scalar codec {scalar_s * 1e3:.1f} ms, "
+        f"batch codec {batch_s * 1e3:.1f} ms ({speedup:.2f}x, floor {floor:.1f}x)"
+    )
+    assert speedup >= floor, (
+        f"batched codec job only {speedup:.2f}x over the scalar payload path "
+        f"(floor {floor}x)"
+    )

@@ -27,11 +27,14 @@ def build_backend(
     config: GPUConfig,
     lossy_threshold_bytes: int = 16,
     mag_bytes: int | None = None,
+    batch_codec: bool = True,
 ) -> CompressionBackend:
     """Build the memory-controller backend for a scheme label.
 
     ``"E2MC"`` yields the lossless baseline (46/20-cycle latencies); the
     TSLC labels yield an SLC backend of the matching variant (60/20 cycles).
+    ``batch_codec=False`` routes SLC batched stores through the scalar
+    per-block payload path (the codec microbenchmark's reference).
     """
     mag = mag_bytes if mag_bytes is not None else config.mag_bytes
     latency = config.latency
@@ -62,11 +65,16 @@ def build_backend(
         SLCCompressor(slc_config),
         compress_cycles=latency.tslc_compress_cycles,
         decompress_cycles=latency.tslc_decompress_cycles,
+        batch_codec=batch_codec,
     )
 
 
 def simulate_job(
-    job: Job, batch_store: bool = True, replay_mode: str = "vectorized"
+    job: Job,
+    batch_store: bool = True,
+    replay_mode: str = "vectorized",
+    batch_codec: bool = True,
+    payload_digest: bool = False,
 ) -> SimulationResult:
     """Run one job to completion and return its simulation result.
 
@@ -80,10 +88,20 @@ def simulate_job(
             ``"vectorized"`` (default, :mod:`repro.replay`) or ``"scalar"``
             (the per-access reference loop).  Results are identical either
             way; the replay microbenchmark flips this to measure both.
+        batch_codec: materialize stored payload bytes with the vectorized
+            payload codec (:mod:`repro.kernels.codec`) instead of per-block
+            ``apply_decision`` calls.  Results are identical either way; the
+            codec microbenchmark flips this off to measure the scalar path.
+        payload_digest: record ``extra_metrics["payload_sha256"]`` over the
+            final stored state (see :class:`GPUSimulator`); used by the
+            golden-result regression suite.
     """
     config = overrides_to_config(job.config_overrides)
     simulator = GPUSimulator(
-        config=config, batch_store=batch_store, replay_mode=replay_mode
+        config=config,
+        batch_store=batch_store,
+        replay_mode=replay_mode,
+        payload_digest=payload_digest,
     )
     kwargs: dict = {"seed": job.seed}
     if job.scale is not None:
@@ -94,6 +112,7 @@ def simulate_job(
         config,
         lossy_threshold_bytes=job.lossy_threshold_bytes,
         mag_bytes=job.mag_bytes,
+        batch_codec=batch_codec,
     )
     return simulator.run(workload, backend, compute_error=job.compute_error)
 

@@ -146,6 +146,10 @@ class MemoryController:
         stored = self._storage.get(block_address)
         return stored.data if stored is not None else None
 
+    def stored_items(self) -> "list[tuple[int, StoredBlock]]":
+        """Every stored block with its address (for digests/inspection)."""
+        return list(self._storage.items())
+
     @property
     def busy_memory_cycles(self) -> int:
         """DRAM-channel busy time in memory-clock cycles."""

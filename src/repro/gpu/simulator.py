@@ -10,6 +10,7 @@ execution time, energy and EDP.  Kernel outputs recomputed from the degraded
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -178,6 +179,14 @@ class GPUSimulator:
             batched miss-path accounting.  ``"scalar"`` runs the original
             per-access loop.  Results are bit-identical; the scalar mode
             exists as the reference oracle and for benchmarking.
+        payload_digest: record a SHA-256 digest of the final stored state —
+            every stored block's address, burst count, stored bits, lossy
+            flag and (possibly degraded) data bytes, in address order — as
+            ``extra_metrics["payload_sha256"]``.  The golden-result suite
+            uses it to pin the scalar and batched payload codecs to the
+            same bytes; off by default because campaign results are meant
+            to be content-comparable across runs that store different
+            amounts of data (e.g. different trace subsets).
     """
 
     #: valid ``replay_mode`` values
@@ -192,6 +201,7 @@ class GPUSimulator:
         train_samples: int = 1024,
         batch_store: bool = True,
         replay_mode: str = "vectorized",
+        payload_digest: bool = False,
     ) -> None:
         self.config = config or GPUConfig()
         self.energy_model = energy_model or EnergyModel()
@@ -208,6 +218,7 @@ class GPUSimulator:
         self.train_samples = train_samples
         self.batch_store = batch_store
         self.replay_mode = replay_mode
+        self.payload_digest = payload_digest
 
     # ------------------------------------------------------------------ #
     # public API
@@ -427,6 +438,12 @@ class GPUSimulator:
             mag_bytes=self.config.mag_bytes,
         )
 
+        extra_metrics = {
+            "mdc_extra_bursts": sum(c.stats.mdc_extra_bursts for c in controllers),
+        }
+        if self.payload_digest:
+            extra_metrics["payload_sha256"] = self._payload_digest(controllers)
+
         return SimulationResult(
             workload=workload.name,
             backend=backend.name,
@@ -447,7 +464,27 @@ class GPUSimulator:
             error_percent=error_percent,
             energy=energy,
             mdc_hit_rate=mdc_hit_rate,
-            extra_metrics={
-                "mdc_extra_bursts": sum(c.stats.mdc_extra_bursts for c in controllers),
-            },
+            extra_metrics=extra_metrics,
         )
+
+    @staticmethod
+    def _payload_digest(controllers: list[MemoryController]) -> str:
+        """SHA-256 over the final stored state of every block, address-ordered.
+
+        Hashes address, burst count, stored bits, lossy flag and the stored
+        (possibly degraded) data bytes, so two runs agree iff their payload
+        codecs produced identical storage.
+        """
+        entries = [
+            (address, stored)
+            for controller in controllers
+            for address, stored in controller.stored_items()
+        ]
+        digest = hashlib.sha256()
+        for address, stored in sorted(entries, key=lambda item: item[0]):
+            digest.update(
+                f"{address}:{stored.bursts}:{stored.stored_bits}:"
+                f"{int(stored.lossy)}:".encode()
+            )
+            digest.update(stored.data)
+        return digest.hexdigest()

@@ -15,13 +15,20 @@ size-analysis pipeline as array programs over all blocks of a region at once:
   gathers plus an ``argmax`` priority encoder (including the TSLC-OPT
   staggered windows);
 * :mod:`~repro.kernels.decision` — the Fig. 4 mode decision (bit budget,
-  threshold, burst accounting) as elementwise array arithmetic.
+  threshold, burst accounting) as elementwise array arithmetic;
+* :mod:`~repro.kernels.codec` — the payload codec: bulk Huffman
+  encode/decode through dense codeword tables + ``np.packbits`` assembly,
+  and the TSLC truncation/prediction pass that materializes degraded block
+  bytes for a whole region at once.
 
 The scalar path remains the n = 1 reference: `analyze_batch` results are
 bit-exact against per-block `analyze` (enforced by
-``tests/test_batch_kernels.py``).
+``tests/test_batch_kernels.py``) and the batch codec against per-block
+`compress`/`decompress`/`apply_decision` (``tests/test_codec.py`` and the
+golden-result suite).
 """
 
+from repro.kernels.codec import HuffmanCodecLUT, reconstruct_rows
 from repro.kernels.decision import BatchDecisions, analyze_code_lengths
 from repro.kernels.lut import CodeLengthLUT
 from repro.kernels.symbols import BatchSymbolView, as_symbol_view
@@ -33,7 +40,9 @@ __all__ = [
     "BatchSymbolView",
     "BatchTreePlan",
     "CodeLengthLUT",
+    "HuffmanCodecLUT",
     "analyze_code_lengths",
     "as_symbol_view",
+    "reconstruct_rows",
     "select_subblocks",
 ]

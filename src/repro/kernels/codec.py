@@ -1,0 +1,394 @@
+"""Batched payload codec: Huffman bits and SLC truncation for whole regions.
+
+The analysis kernels (:mod:`repro.kernels.lut`, :mod:`repro.kernels.decision`)
+compute *sizes* without materializing a single payload bit; this module is
+their counterpart for the moments a payload actually has to exist — storing a
+block (the degraded bytes a later read returns), compressing it (the Huffman
+bitstream) and decompressing it (symbols back out of the bitstream).  The
+scalar path does all three one symbol at a time (`BitWriter`/`BitReader`
+loops, per-symbol dict lookups, the Python list surgery of
+:func:`repro.core.prediction.predict_truncated_symbols`); here each becomes
+an array program over every block of a region at once:
+
+* :class:`HuffmanCodecLUT` — the trained canonical Huffman code as dense
+  per-symbol *codeword* and *length* tables (untabled symbols are
+  escape-extended: ``(escape_codeword << symbol_bits) | symbol``), plus the
+  canonical decode arrays: all codewords left-justified to the maximum code
+  length, sorted ascending.  A prefix-free code's left-justified codewords
+  are strictly increasing, so decoding one symbol is a ``searchsorted`` of
+  the next ``max_length`` bits — whatever bits follow the codeword cannot
+  push the value past the next left-justified codeword.
+* :meth:`HuffmanCodecLUT.encode_rows` — bulk MSB-first bit packing: per-symbol
+  codeword bits are exploded with prefix-sum offsets + ``np.repeat`` and
+  reassembled per row with :func:`numpy.packbits`, bit-exact against
+  ``BitWriter.getvalue()``.
+* :meth:`HuffmanCodecLUT.decode_rows` — all rows decode in lockstep: one
+  Python iteration per symbol *slot* (64 for the paper geometry), with the
+  peek / ``searchsorted`` / escape-raw-bits / advance steps vectorized across
+  every block of the region.
+* :func:`reconstruct_rows` — the TSLC truncated-symbol reconstruction
+  (zero fill for SIMP, the lane-aware nearest-kept-symbol predictor for
+  PRED/OPT) as masked gathers, bit-exact against
+  :func:`~repro.core.prediction.predict_truncated_symbols`.
+
+The scalar implementations remain the n = 1 oracles; ``tests/test_codec.py``
+and ``tests/test_golden_results.py`` enforce bit-exact equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.compression.base import CompressionError, DecompressionError
+from repro.kernels.lut import MAX_LUT_SYMBOL_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (e2mc -> codec)
+    from repro.compression.e2mc import SymbolModel
+
+#: widest symbol for which the dense codeword table is sensible; the codec
+#: tables are only coherent when they cover exactly the widths the
+#: code-length LUT covers, so the bound is shared, not re-declared
+MAX_CODEC_SYMBOL_BYTES = MAX_LUT_SYMBOL_BYTES
+
+
+@dataclass(frozen=True)
+class HuffmanCodecLUT:
+    """A trained symbol model's full codec (encode + decode) as NumPy tables.
+
+    Attributes:
+        codewords: ``(2**symbol_bits,)`` uint64 array mapping raw symbol →
+            emitted bit pattern.  Tabled symbols hold their Huffman codeword;
+            untabled symbols hold the escape codeword followed by the raw
+            symbol bits (``(escape << symbol_bits) | symbol``).
+        lengths: ``(2**symbol_bits,)`` int64 array of the matching bit counts
+            (same values as :class:`~repro.kernels.lut.CodeLengthLUT`).
+        dec_lj: left-justified codewords (``codeword << (max_length - len)``)
+            of every coded symbol including the escape, sorted ascending.
+        dec_symbols: symbol decoded at each ``dec_lj`` entry;
+            the escape marker is its natural negative sentinel
+            (:data:`~repro.compression.e2mc.ESCAPE_SYMBOL`).
+        dec_lengths: codeword length (escape raw bits *not* included) at each
+            ``dec_lj`` entry.
+        max_length: longest codeword length in bits.
+        symbol_bits: raw symbol width in bits.
+        trained: whether the tables came from a trained model; encode/decode
+            raise on untrained tables, matching the scalar paths.
+    """
+
+    codewords: np.ndarray
+    lengths: np.ndarray
+    dec_lj: np.ndarray
+    dec_symbols: np.ndarray
+    dec_lengths: np.ndarray
+    max_length: int
+    symbol_bits: int
+    trained: bool
+
+    @classmethod
+    def from_model(cls, model: "SymbolModel") -> "HuffmanCodecLUT":
+        """Expand a :class:`~repro.compression.e2mc.SymbolModel` into tables.
+
+        Raises :class:`ValueError` for symbol widths whose dense tables would
+        not fit in memory; callers fall back to the scalar path in that case.
+        """
+        if model.symbol_bytes > MAX_CODEC_SYMBOL_BYTES:
+            raise ValueError(
+                f"cannot build a dense codec LUT for {model.symbol_bytes}-byte symbols"
+            )
+        symbol_bits = model.symbol_bits
+        empty = np.zeros(0, dtype=np.int64)
+        if not model.trained:
+            return cls(
+                codewords=np.zeros(0, dtype=np.uint64),
+                lengths=empty,
+                dec_lj=np.zeros(0, dtype=np.uint64),
+                dec_symbols=empty,
+                dec_lengths=empty,
+                max_length=0,
+                symbol_bits=symbol_bits,
+                trained=False,
+            )
+
+        from repro.compression.e2mc import ESCAPE_SYMBOL
+
+        size = 1 << symbol_bits
+        escape_code, _ = model.code.encode(ESCAPE_SYMBOL)
+        # Escape-extended defaults: escape codeword followed by the raw bits.
+        codewords = (np.uint64(escape_code) << np.uint64(symbol_bits)) + np.arange(
+            size, dtype=np.uint64
+        )
+        lengths = model.code_length_table().table.astype(np.int64)
+        tabled = [(s, cw) for s, cw in model.code.codewords.items() if s >= 0]
+        if tabled:
+            symbols, codes = zip(*tabled)
+            codewords[np.asarray(symbols, dtype=np.int64)] = np.asarray(
+                codes, dtype=np.uint64
+            )
+        max_length = model.code.max_length()
+        entries = sorted(
+            (code << (max_length - model.code.lengths[symbol]), symbol)
+            for symbol, code in model.code.codewords.items()
+        )
+        dec_lj = np.asarray([lj for lj, _ in entries], dtype=np.uint64)
+        dec_symbols = np.asarray([s for _, s in entries], dtype=np.int64)
+        dec_lengths = np.asarray(
+            [model.code.lengths[s] for _, s in entries], dtype=np.int64
+        )
+        for table in (codewords, lengths, dec_lj, dec_symbols, dec_lengths):
+            table.setflags(write=False)
+        return cls(
+            codewords=codewords,
+            lengths=lengths,
+            dec_lj=dec_lj,
+            dec_symbols=dec_symbols,
+            dec_lengths=dec_lengths,
+            max_length=max_length,
+            symbol_bits=symbol_bits,
+            trained=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # encode
+
+    def encode_rows(
+        self, symbols: np.ndarray, row_counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Huffman-encode many symbol rows into packed payload bytes at once.
+
+        Args:
+            symbols: flat concatenation of every row's symbols, in row order
+                (rows may have different symbol counts — SLC's lossy rows
+                keep fewer symbols than lossless ones).
+            row_counts: ``(n_rows,)`` number of symbols per row.
+
+        Returns:
+            ``(packed, row_bits)`` where ``packed`` is an
+            ``(n_rows, max_row_bytes)`` uint8 matrix and row ``i``'s payload
+            is ``packed[i, :(row_bits[i] + 7) // 8].tobytes()`` — identical
+            bytes and bit count to the scalar
+            :meth:`~repro.compression.e2mc.SymbolModel.encode_symbol` loop
+            plus ``BitWriter.getvalue()``.
+        """
+        if not self.trained:
+            raise CompressionError("symbol model must be trained before encoding")
+        row_counts = np.asarray(row_counts, dtype=np.int64)
+        n_rows = row_counts.shape[0]
+        flat = np.asarray(symbols).reshape(-1)
+        if int(row_counts.sum()) != flat.size:
+            raise ValueError(
+                f"row_counts sum to {int(row_counts.sum())} symbols "
+                f"but {flat.size} were given"
+            )
+        lens = self.lengths[flat]
+        # Bit offset of every symbol (prefix sums across the flat stream).
+        sym_start = np.zeros(flat.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=sym_start[1:])
+        total_bits = int(sym_start[-1])
+        row_sym_start = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=row_sym_start[1:])
+        row_bit_start = sym_start[row_sym_start[:-1]]
+        row_bits = sym_start[row_sym_start[1:]] - row_bit_start
+        if total_bits == 0:
+            return np.zeros((n_rows, 0), dtype=np.uint8), row_bits
+
+        # Explode codewords into individual bits, MSB first: bit k of a
+        # symbol's emission is (codeword >> (length - 1 - k)) & 1.
+        codes = self.codewords[flat]
+        sym_of_bit = np.repeat(np.arange(flat.size, dtype=np.int64), lens)
+        within = np.arange(total_bits, dtype=np.int64) - sym_start[sym_of_bit]
+        shifts = (lens[sym_of_bit] - 1 - within).astype(np.uint64)
+        bits = ((codes[sym_of_bit] >> shifts) & np.uint64(1)).astype(np.uint8)
+
+        # Scatter the flat bit stream into per-row lanes and pack bytes.
+        width = (int(row_bits.max()) + 7) // 8 * 8
+        lanes = np.zeros((n_rows, width), dtype=np.uint8)
+        row_of_bit = np.repeat(np.arange(n_rows, dtype=np.int64), row_bits)
+        column = np.arange(total_bits, dtype=np.int64) - np.repeat(
+            row_bit_start, row_bits
+        )
+        lanes[row_of_bit, column] = bits
+        return np.packbits(lanes, axis=1), row_bits
+
+    def payloads_from_rows(
+        self, packed: np.ndarray, row_bits: np.ndarray
+    ) -> list[tuple[bytes, int]]:
+        """Slice :meth:`encode_rows` output into per-row ``(bytes, bits)``."""
+        return [
+            (packed[i, : (bits + 7) // 8].tobytes(), int(bits))
+            for i, bits in enumerate(row_bits.tolist())
+        ]
+
+    # ------------------------------------------------------------------ #
+    # decode
+
+    def decode_rows(
+        self,
+        payloads: list[bytes],
+        bit_lengths: np.ndarray,
+        symbol_counts: np.ndarray,
+    ) -> np.ndarray:
+        """Decode many Huffman payloads in lockstep.
+
+        Args:
+            payloads: per-row packed payload bytes (as produced by
+                :meth:`encode_rows` / ``BitWriter.getvalue()``).
+            bit_lengths: ``(n_rows,)`` meaningful bits per payload.
+            symbol_counts: ``(n_rows,)`` symbols to decode per row.
+
+        Returns:
+            ``(n_rows, max(symbol_counts))`` int64 matrix; row ``i``'s first
+            ``symbol_counts[i]`` entries are its decoded symbols (the rest
+            are zero).
+
+        Raises:
+            DecompressionError: if the model is untrained or a codeword runs
+                past the end of a payload (the scalar reader's ``EOFError``).
+        """
+        if not self.trained:
+            raise DecompressionError("symbol model must be trained before decoding")
+        bit_lengths = np.asarray(bit_lengths, dtype=np.int64)
+        symbol_counts = np.asarray(symbol_counts, dtype=np.int64)
+        n_rows = len(payloads)
+        data_bits = np.fromiter(
+            (len(payload) * 8 for payload in payloads), np.int64, n_rows
+        )
+        if np.any(bit_lengths > data_bits):
+            raise DecompressionError("bit_length exceeds the available payload bytes")
+        max_count = int(symbol_counts.max(initial=0))
+        out = np.zeros((n_rows, max_count), dtype=np.int64)
+        if n_rows == 0 or max_count == 0:
+            return out
+
+        # All payload bits as one (n_rows, bits) matrix, zero-padded on the
+        # right so a peek window never leaves the matrix.  The padding can
+        # never change a decode: the searchsorted below only commits to the
+        # leading `length` bits of a window, and those always lie inside the
+        # payload for well-formed streams (enforced by the final check).
+        max_bytes = max(len(payload) for payload in payloads)
+        packed = np.zeros((n_rows, max_bytes), dtype=np.uint8)
+        for i, payload in enumerate(payloads):
+            if payload:
+                packed[i, : len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+        pad = self.max_length + self.symbol_bits
+        bits = np.zeros((n_rows, max_bytes * 8 + pad), dtype=np.uint8)
+        bits[:, : max_bytes * 8] = np.unpackbits(packed, axis=1)
+
+        peek_weights = (
+            1 << np.arange(self.max_length - 1, -1, -1, dtype=np.int64)
+        ).astype(np.uint64)
+        raw_weights = 1 << np.arange(self.symbol_bits - 1, -1, -1, dtype=np.int64)
+        peek_offsets = np.arange(self.max_length, dtype=np.int64)
+        raw_offsets = np.arange(self.symbol_bits, dtype=np.int64)
+
+        position = np.zeros(n_rows, dtype=np.int64)
+        for slot in range(max_count):
+            active = np.nonzero(symbol_counts > slot)[0]
+            if not active.size:
+                break
+            pos = position[active]
+            # Every pending symbol needs at least one more payload bit; this
+            # also keeps every peek inside the padded bit matrix (positions
+            # never exceed data_bits, so windows stay within `pad`).
+            if np.any(pos >= bit_lengths[active]):
+                raise DecompressionError("codeword ran past the end of the bitstream")
+            window = bits[active[:, None], pos[:, None] + peek_offsets]
+            values = (window.astype(np.uint64) * peek_weights).sum(axis=1)
+            index = np.searchsorted(self.dec_lj, values, side="right") - 1
+            symbol = self.dec_symbols[index].copy()
+            length = self.dec_lengths[index].copy()
+            escaped = symbol < 0
+            if escaped.any():
+                rows = active[escaped]
+                raw_pos = pos[escaped] + length[escaped]
+                raw = bits[rows[:, None], raw_pos[:, None] + raw_offsets]
+                symbol[escaped] = (raw.astype(np.int64) * raw_weights).sum(axis=1)
+                length[escaped] += self.symbol_bits
+            out[active, slot] = symbol
+            position[active] = pos + length
+
+        if np.any(position > bit_lengths):
+            raise DecompressionError("codeword ran past the end of the bitstream")
+        return out
+
+
+def reconstruct_rows(
+    symbols: np.ndarray,
+    approx_start: np.ndarray,
+    approx_count: np.ndarray,
+    *,
+    use_prediction: bool,
+    element_symbols: int,
+) -> np.ndarray:
+    """Fill every row's truncated symbol range, vectorized over rows.
+
+    Bit-exact against
+    :func:`~repro.core.prediction.predict_truncated_symbols`: TSLC-SIMP
+    (``use_prediction=False``) zero-fills; TSLC-PRED/OPT predict each
+    truncated symbol from the nearest preceding kept symbol at the same
+    within-element lane, then the nearest following one, then any kept
+    neighbour (zero only when the whole row was truncated).
+
+    Args:
+        symbols: ``(n_rows, n_symbols)`` matrix whose entries *outside* each
+            row's truncated range hold the kept symbol values (entries inside
+            the range are ignored and overwritten).
+        approx_start: ``(n_rows,)`` first truncated symbol per row.
+        approx_count: ``(n_rows,)`` truncated symbols per row (may be 0).
+        use_prediction: ``True`` for TSLC-PRED/OPT, ``False`` for TSLC-SIMP.
+        element_symbols: symbols per data element (the predictor's lane
+            stride).
+
+    Returns:
+        A new matrix of the same shape and dtype with the ranges filled.
+    """
+    if element_symbols <= 0:
+        raise ValueError("element_symbols must be positive")
+    sym = np.asarray(symbols)
+    n_rows, n_symbols = sym.shape
+    start = np.asarray(approx_start, dtype=np.int64)
+    count = np.asarray(approx_count, dtype=np.int64)
+    if np.any(count < 0) or np.any(start < 0):
+        raise ValueError("approximation range must be non-negative")
+    if np.any(start + count > n_symbols):
+        raise ValueError("approximated range exceeds the block")
+    out = sym.copy()
+    max_count = int(count.max(initial=0))
+    if n_rows == 0 or max_count == 0:
+        return out
+
+    offsets = np.arange(max_count, dtype=np.int64)
+    valid = offsets[None, :] < count[:, None]
+    target = np.where(valid, start[:, None] + offsets[None, :], 0)
+    if use_prediction:
+        end = (start + count)[:, None]
+        lane = target % element_symbols
+        # Mirrors predictor_symbol_index: the first preceding candidate at
+        # the same lane is start - element_symbols + lane (< start always),
+        # the first following one is end + lane (>= end always); then fall
+        # back to any kept neighbour, and to zero when nothing was kept.
+        before = start[:, None] - element_symbols + lane
+        after = end + lane
+        predictor = np.where(
+            before >= 0,
+            before,
+            np.where(
+                after < n_symbols,
+                after,
+                np.where(
+                    start[:, None] > 0,
+                    start[:, None] - 1,
+                    np.where(end < n_symbols, end, -1),
+                ),
+            ),
+        )
+        gathered = np.take_along_axis(out, np.clip(predictor, 0, n_symbols - 1), axis=1)
+        fill = np.where(predictor >= 0, gathered, 0).astype(out.dtype)
+    else:
+        fill = np.zeros(target.shape, dtype=out.dtype)
+
+    rows = np.broadcast_to(np.arange(n_rows)[:, None], target.shape)
+    out[rows[valid], target[valid]] = fill[valid]
+    return out

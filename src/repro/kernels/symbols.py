@@ -100,6 +100,11 @@ class BatchSymbolView:
     def __len__(self) -> int:
         return self.n_blocks
 
+    def __iter__(self):
+        """Iterate the view as per-block bytes (scalar-fallback friendly)."""
+        for index in range(self.n_blocks):
+            yield self.block_bytes(index)
+
     def block_bytes(self, index: int) -> bytes:
         """Raw bytes of block ``index`` (for scalar fallbacks and reconstruction)."""
         start = index * self.block_size_bytes

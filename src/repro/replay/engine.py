@@ -9,8 +9,11 @@ assembled from:
    (:meth:`~repro.gpu.trace.MemoryTrace.compile`),
 2. the L2 resolves all hits at once (:func:`~repro.replay.l2.replay_l2`)
    yielding the miss stream in trace order,
-3. write misses go through the backend's batched analysis kernels
-   (``store_batch``), grouped by the region's ``approximable`` flag,
+3. write misses go through the backend's batched analysis kernels *and*
+   batched payload codec (``store_batch``: vectorized Fig. 4 decision plus
+   one truncation/prediction pass producing every stored block's degraded
+   bytes, see :mod:`repro.kernels.codec`), grouped by the region's
+   ``approximable`` flag,
 4. the miss stream is partitioned per memory controller
    (``CHANNEL_INTERLEAVE_BLOCKS`` interleave) and each controller's events
    run through a vectorized storage-timeline forward fill (the burst count a
@@ -65,9 +68,10 @@ def replay_trace(
     backend = controllers[0].backend
 
     # ------------------------------------------------------------------ #
-    # write misses: batched compression decisions, grouped by approximable
-    # flag (per-block results and the backend's own counters are identical
-    # to per-miss ``store`` calls; only the call grouping differs).
+    # write misses: batched compression decisions + batched payload codec,
+    # grouped by approximable flag (per-block results and the backend's own
+    # counters are identical to per-miss ``store`` calls; only the call
+    # grouping differs).
     stored_by_miss: list = [None] * n_miss
     miss_bursts = np.zeros(n_miss, dtype=np.int64)
     write_indices = np.nonzero(miss_write)[0]

@@ -98,6 +98,109 @@ def test_read_bit_helper():
     assert reader.read_bit() == 0
 
 
+# --------------------------------------------------------------------- #
+# boundary coverage: reads landing exactly on bit_length, zero-length ops
+
+
+def test_read_landing_exactly_on_bit_length():
+    """A read consuming the last available bit succeeds; the next fails."""
+    writer = BitWriter()
+    writer.write(0b10110, 5)
+    writer.write(0b011, 3)
+    writer.write(0b11111, 5)  # 13 bits total: not a byte multiple
+    reader = BitReader(writer.getvalue(), bit_length=13)
+    assert reader.read(5) == 0b10110
+    assert reader.read(3) == 0b011
+    assert reader.read(5) == 0b11111
+    assert reader.remaining == 0
+    assert reader.position == 13
+    with pytest.raises(EOFError):
+        reader.read(1)
+
+
+def test_single_read_of_entire_bit_length():
+    reader = BitReader(b"\xa5\xc0", bit_length=10)
+    assert reader.read(10) == 0b1010_0101_11
+    assert reader.remaining == 0
+
+
+def test_zero_width_read_at_exact_end_returns_zero():
+    reader = BitReader(b"\xff", bit_length=3)
+    reader.read(3)
+    assert reader.read(0) == 0
+    assert reader.remaining == 0
+
+
+def test_peek_width_equal_to_remaining():
+    reader = BitReader(b"\xb4", bit_length=6)
+    assert reader.peek(6) == 0b101101
+    assert reader.position == 0
+    assert reader.read(6) == 0b101101
+
+
+def test_peek_past_bit_length_raises_and_restores_position():
+    reader = BitReader(b"\xb4", bit_length=6)
+    reader.read(2)
+    with pytest.raises(EOFError):
+        reader.peek(5)
+    assert reader.position == 2
+    assert reader.read(4) == 0b1101
+
+
+def test_reader_with_zero_bit_length():
+    reader = BitReader(b"\xff", bit_length=0)
+    assert reader.remaining == 0
+    assert reader.read(0) == 0
+    with pytest.raises(EOFError):
+        reader.read(1)
+
+
+def test_empty_reader_from_empty_data():
+    reader = BitReader(b"")
+    assert reader.remaining == 0
+    assert reader.read(0) == 0
+
+
+def test_zero_length_write_between_fields_is_invisible():
+    writer = BitWriter()
+    writer.write(0b11, 2)
+    writer.write(0, 0)
+    writer.write_bits([])
+    writer.write(0b01, 2)
+    assert writer.bit_length == 4
+    reader = BitReader(writer.getvalue(), bit_length=4)
+    assert reader.read(4) == 0b1101
+
+
+def test_zero_length_write_of_nonzero_value_raises():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write(1, 0)
+
+
+def test_empty_writer_produces_empty_payload():
+    writer = BitWriter()
+    assert writer.bit_length == 0
+    assert writer.getvalue() == b""
+    assert writer.bits() == []
+
+
+def test_write_value_exactly_filling_width():
+    """Values whose bit_length equals the width are the boundary case."""
+    writer = BitWriter()
+    writer.write(0b111, 3)
+    writer.write(0b1000, 4)
+    reader = BitReader(writer.getvalue(), bit_length=7)
+    assert reader.read(3) == 0b111
+    assert reader.read(4) == 0b1000
+
+
+def test_bit_length_equal_to_data_length_is_accepted():
+    reader = BitReader(b"\x0f", bit_length=8)
+    assert reader.read(8) == 0x0F
+    assert reader.remaining == 0
+
+
 @given(
     st.lists(
         st.tuples(st.integers(min_value=0, max_value=2**20), st.integers(1, 24)),
