@@ -7,10 +7,9 @@ nodes, plus the raw throughput of the compressor implementations.
 
 import numpy as np
 
-from repro.campaign import CampaignSpec, run_campaign
 from repro.compression import get_compressor
 from repro.core import SLCCompressor, SLCConfig, SLCMode, SLCVariant
-from repro.experiments.fig1_compression_ratio import workload_blocks
+from repro.studies import ThresholdAblationStudy, workload_blocks
 from repro.utils.sampling import sample_evenly
 
 
@@ -21,29 +20,14 @@ def _blocks(scale):
 def test_bench_threshold_sweep(benchmark, slc_scale):
     """How the lossy threshold trades converted blocks for DRAM bursts.
 
-    The sweep is a campaign grid over the threshold axis, run end-to-end
-    through the simulator (the engine the figure studies use) instead of a
-    hand-rolled loop over compressor decisions.
+    The sweep is the registered threshold-ablation study, run end-to-end
+    through the simulator on the campaign engine (the same declarative
+    pipeline ``repro study run ablation-threshold`` drives).
     """
-    spec = CampaignSpec(
-        name="threshold-ablation",
-        workloads=("FWT",),
-        schemes=("TSLC-OPT",),
-        lossy_thresholds=(0, 4, 8, 16, 24, 32),
-        scales=(slc_scale,),
-        compute_error=False,
-    )
+    study = ThresholdAblationStudy(scale=slc_scale)
 
     def sweep():
-        outcome = run_campaign(spec)
-        outcome.raise_for_failures()
-        return {
-            job.lossy_threshold_bytes: (
-                record.result.lossy_blocks / record.result.stored_blocks,
-                record.result.total_bursts,
-            )
-            for job, record in outcome.iter_records()
-        }
+        return study.run().data
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Study framework tour: sweep-shaped studies on the campaign engine.
+
+Runs two of the declarative studies that go beyond the paper's figures, at a
+small scale so the whole script finishes in well under a minute:
+
+1. ``response-surface`` — the MAG × lossy-threshold response surface of
+   TSLC-OPT (Fig. 9 samples only its threshold = MAG/2 diagonal),
+2. ``gpu-scaling`` — how the TSLC-OPT speedup over E2MC scales with the
+   number of SMs and the off-chip bandwidth.
+
+Both runs share one result store, so re-running the script (or mixing in
+``python -m repro study run …`` on the same directory) only simulates grid
+cells that were never computed.  The equivalent CLI invocations are::
+
+    python -m repro study run response-surface --dir campaigns/surface \
+        --set workloads=BS,NN --set mags=16,32 --set thresholds=8,16 \
+        --set compute_error=false --set scale=0.002 --workers 4
+    python -m repro study run gpu-scaling --dir campaigns/surface \
+        --set workloads=BS,NN --set scale=0.002 --workers 4
+
+Run with:  python examples/study_sweep.py [--scale 0.002] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+from repro.studies import GPUScalingStudy, ResponseSurfaceStudy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0 / 512.0)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args()
+
+    surface = ResponseSurfaceStudy(
+        workloads=("BS", "NN"),
+        schemes=("TSLC-OPT",),
+        mags=(16, 32),
+        thresholds=(8, 16),
+        scale=args.scale,
+        compute_error=False,
+    )
+    scaling = GPUScalingStudy(
+        workloads=("BS", "NN"),
+        sm_counts=(8, 16, 32),
+        bandwidth_scales=(0.5, 1.0, 2.0),
+        scale=args.scale,
+    )
+
+    with tempfile.TemporaryDirectory() as directory:
+        result = surface.run(store=directory, workers=args.workers)
+        print(f"{surface.title}")
+        print(f"({result.meta['n_jobs']} grid cells, "
+              f"{result.meta['n_executed']} simulated)\n")
+        print(f"{'scheme':<10} {'MAG':>4} {'thr':>4} {'GM speedup':>11} "
+              f"{'GM bandwidth':>13}")
+        for row in result.rows:
+            print(f"{row['scheme']:<10} {row['mag_bytes']:>4} "
+                  f"{row['lossy_threshold_bytes']:>4} {row['gm_speedup']:>11.3f} "
+                  f"{row['gm_bandwidth']:>13.3f}")
+
+        result = scaling.run(store=directory, workers=args.workers)
+        print(f"\n{scaling.title}")
+        print(f"({result.meta['n_jobs']} grid cells, "
+              f"{result.meta['n_executed']} simulated)\n")
+        print(f"{'axis':<24} {'value':>8} {'GM speedup':>11}")
+        for row in result.rows:
+            if row["workload"] != "GM":
+                continue
+            print(f"{row['axis']:<24} {row['value']:>8g} {row['speedup']:>11.3f}")
+
+
+if __name__ == "__main__":
+    main()

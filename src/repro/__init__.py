@@ -24,12 +24,17 @@ Compression for GPUs* (Lal, Lucas, Juurlink — DATE 2019).  It contains:
   jobs, a process-pool executor fans them out with per-job failure capture,
   and a JSONL result store keyed by job hash makes re-runs free.  Driven
   from Python or via the ``repro`` CLI (``python -m repro campaign run``).
-* ``repro.experiments`` — one module per paper table/figure that regenerates
-  the corresponding result.  Every figure is a campaign under the hood:
-  Figs. 7/8 are the (9 workloads × {E2MC, TSLC-SIMP/PRED/OPT}) grid at
-  threshold 16 B, Fig. 9 is one campaign per MAG ∈ {16, 32, 64} B with
-  threshold MAG/2, and :func:`repro.experiments.run_slc_study` accepts
-  ``workers=`` and ``store_dir=`` to parallelize and cache any of them.
+* ``repro.studies`` — the declarative Study framework: every evaluation
+  artefact (paper figure/table, ablation, response surface, seed-variance
+  bands, GPU-scaling curves) is a registered ``Study`` whose grid rides the
+  campaign engine; ``python -m repro study run|list|export`` drives them.
+* ``repro.experiments`` — compatibility wrappers, one module per paper
+  table/figure, over the corresponding studies.  Every figure is a campaign
+  under the hood: Figs. 7/8 are the (9 workloads × {E2MC,
+  TSLC-SIMP/PRED/OPT}) grid at threshold 16 B, Fig. 9 one sub-grid per
+  MAG ∈ {16, 32, 64} B with threshold MAG/2, and
+  :func:`repro.experiments.run_slc_study` accepts ``workers=`` and
+  ``store_dir=`` to parallelize and cache any of them.
 """
 
 from repro._version import __version__

@@ -1,4 +1,4 @@
-"""``python -m repro`` — dispatch to the campaign CLI."""
+"""``python -m repro`` — dispatch to the campaign/study CLI."""
 
 import sys
 

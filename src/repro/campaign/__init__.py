@@ -17,22 +17,35 @@ from repro.campaign.spec import (
     CampaignSpec,
     Job,
     config_to_overrides,
+    expand_specs,
     overrides_to_config,
 )
-from repro.campaign.store import JobRecord, ResultStore
+from repro.campaign.store import (
+    STORE_BACKENDS,
+    JobRecord,
+    JSONLResultStore,
+    ResultStore,
+    SQLiteResultStore,
+    open_store,
+)
 from repro.campaign.worker import build_backend, execute_job, simulate_job
 
 __all__ = [
     "BASELINE_SCHEME",
     "KNOWN_SCHEMES",
     "SCHEME_VARIANTS",
+    "STORE_BACKENDS",
     "CampaignSpec",
     "Job",
     "JobRecord",
     "CampaignResult",
     "ResultStore",
+    "JSONLResultStore",
+    "SQLiteResultStore",
+    "open_store",
     "run_campaign",
     "run_jobs",
+    "expand_specs",
     "build_backend",
     "execute_job",
     "simulate_job",

@@ -2,14 +2,18 @@
 
 Subcommands::
 
-    repro campaign run     expand a grid and simulate it (parallel, cached)
-    repro campaign status  compare the stored spec against results on disk
-    repro campaign export  flatten stored results to CSV
-    repro version          print the package version
+    repro campaign run      expand a grid and simulate it (parallel, cached)
+    repro campaign status   compare the stored spec against results on disk
+    repro campaign export   flatten stored results to CSV
+    repro campaign diff     compare two stores cell-by-cell (drift check)
+    repro campaign compact  drop stale JSONL lines / vacuum a SQLite store
+    repro study ...         run/list/export declarative studies
+    repro version           print the package version
 
 A campaign directory is self-describing: ``campaign.json`` holds the spec,
-``results.jsonl`` the content-addressed results.  Re-running ``campaign
-run`` on the same directory only simulates grid cells that are missing.
+``results.jsonl`` (or ``results.sqlite`` with ``--store-backend sqlite``)
+the content-addressed results.  Re-running ``campaign run`` on the same
+directory only simulates grid cells that are missing.
 """
 
 from __future__ import annotations
@@ -18,12 +22,14 @@ import argparse
 import csv
 import json
 import sys
+import time
 from collections import deque
 
 from repro._version import __version__
 from repro.campaign.executor import run_campaign
 from repro.campaign.spec import KNOWN_SCHEMES, CampaignSpec
-from repro.campaign.store import JobRecord, ResultStore
+from repro.campaign.store import STORE_BACKENDS, JobRecord, ResultStore, open_store
+from repro.studies.cli import add_study_parser
 from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
 #: flat CSV columns: job axes then headline result metrics
@@ -90,29 +96,42 @@ def _format_duration(seconds: float) -> str:
 class ProgressReporter:
     """Per-job progress lines with a rolling-mean ETA for the campaign.
 
-    Long sweeps print ``[done/total]`` plus, once at least one job has
-    actually simulated, the rolling mean job time and the estimated time
-    remaining (``remaining jobs x mean / workers``).  Cached cells and
-    failed jobs don't feed the mean — both finish much faster than a real
-    simulation and would make the ETA wildly optimistic.
+    Long sweeps print ``[done/total]`` plus a summary suffix: once at least
+    one job has actually simulated, the rolling mean job time and the
+    estimated time remaining (``remaining jobs x mean / workers``), and
+    always the cache-hit count so far (when any) and the campaign's total
+    wall time.  Cached cells and failed jobs don't feed the mean — both
+    finish much faster than a real simulation and would make the ETA wildly
+    optimistic.
 
     Args:
         workers: worker process count the ETA divides by.
         window: number of recent job times in the rolling mean.
         stream: output stream (stderr by default, like the progress lines).
+        clock: monotonic time source (injectable for tests).
     """
 
-    def __init__(self, workers: int = 1, window: int = 16, stream=None) -> None:
+    def __init__(self, workers: int = 1, window: int = 16, stream=None,
+                 clock=time.monotonic) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.workers = max(1, workers)
         self._recent: deque[float] = deque(maxlen=window)
         self._stream = stream
+        self._clock = clock
+        self._start = clock()
+        self.n_cached = 0
+
+    @property
+    def wall_time_s(self) -> float:
+        """Seconds since the reporter (i.e. the campaign) started."""
+        return self._clock() - self._start
 
     def __call__(self, record: JobRecord, done: int, total: int) -> None:
         """The :data:`~repro.campaign.executor.ProgressFn` hook."""
         if record.cached:
             detail = "cached"
+            self.n_cached += 1
         elif record.ok:
             detail = f"ran in {record.elapsed_s:.2f}s"
         else:
@@ -121,32 +140,38 @@ class ProgressReporter:
             # Failed jobs abort early; their elapsed time would drag the
             # mean toward zero and make the ETA wildly optimistic.
             self._recent.append(record.elapsed_s)
-        eta = ""
+        parts = []
         remaining = total - done
         if self._recent and remaining:
             mean_s = sum(self._recent) / len(self._recent)
             estimate = remaining * mean_s / self.workers
-            eta = f" (avg {mean_s:.2f}s/job, ETA {_format_duration(estimate)})"
+            parts.append(f"avg {mean_s:.2f}s/job, ETA {_format_duration(estimate)}")
+        if self.n_cached:
+            parts.append(f"{self.n_cached} cached")
+        parts.append(f"{_format_duration(self.wall_time_s)} elapsed")
+        suffix = f" ({', '.join(parts)})"
         stream = self._stream if self._stream is not None else sys.stderr
-        print(f"[{done}/{total}] {record.job.label()}: {detail}{eta}", file=stream)
+        print(f"[{done}/{total}] {record.job.label()}: {detail}{suffix}", file=stream)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     """``campaign run``: expand, simulate, persist, summarize."""
     try:
         spec = _spec_from_args(args)
+        store = ResultStore(args.dir, args.store_backend)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
-    store = ResultStore(args.dir)
     store.save_spec(spec)
+    start = time.monotonic()
     progress = None if args.quiet else ProgressReporter(workers=args.workers)
     outcome = run_campaign(spec, store=store, workers=args.workers, progress=progress)
+    wall = _format_duration(time.monotonic() - start)
     print(
         f"campaign '{spec.name}': {outcome.n_total} jobs — "
         f"{outcome.n_cached} cached, {outcome.n_executed} executed, "
-        f"{outcome.n_failed} failed ({store.directory})"
+        f"{outcome.n_failed} failed in {wall} ({store.directory})"
     )
     for record in outcome.failures():
         tail = (record.error or "").strip().splitlines()[-1:]
@@ -156,7 +181,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_status(args: argparse.Namespace) -> int:
     """``campaign status``: diff the saved spec against stored results."""
-    store = ResultStore(args.dir)
+    store = ResultStore(args.dir, args.store_backend)
     spec = store.load_spec()
     if spec is None:
         print(f"no campaign.json under {store.directory} "
@@ -216,7 +241,7 @@ def _export_row(record: JobRecord) -> dict:
 
 def cmd_export(args: argparse.Namespace) -> int:
     """``campaign export``: flatten stored results to CSV."""
-    store = ResultStore(args.dir)
+    store = ResultStore(args.dir, args.store_backend)
     records = store.records()
     handle = sys.stdout if args.csv == "-" else open(args.csv, "w", newline="")
     try:
@@ -229,6 +254,99 @@ def cmd_export(args: argparse.Namespace) -> int:
             handle.close()
     if args.csv != "-":
         print(f"wrote {len(records)} rows to {args.csv}")
+    return 0
+
+
+#: result fields campaign diff compares (counters first, then the digest)
+DIFF_COUNTER_FIELDS = (
+    "exec_time_s",
+    "compute_time_s",
+    "memory_time_s",
+    "total_bursts",
+    "read_bursts",
+    "write_bursts",
+    "dram_bytes",
+    "dram_row_misses",
+    "l2_accesses",
+    "l2_hit_rate",
+    "stored_blocks",
+    "lossy_blocks",
+    "error_percent",
+)
+
+
+def _record_drift(a: JobRecord, b: JobRecord) -> list[str]:
+    """Field labels in which two records of the same cell disagree."""
+    if a.status != b.status:
+        return [f"status {a.status}->{b.status}"]
+    if a.result is None or b.result is None:
+        return []
+    drift = [
+        field
+        for field in DIFF_COUNTER_FIELDS
+        if getattr(a.result, field) != getattr(b.result, field)
+    ]
+    digest_a = a.result.extra_metrics.get("payload_sha256")
+    digest_b = b.result.extra_metrics.get("payload_sha256")
+    if digest_a is not None and digest_b is not None and digest_a != digest_b:
+        drift.append("payload_sha256")
+    if a.result.energy != b.result.energy:
+        drift.append("energy")
+    return drift
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """``campaign diff``: compare two stores cell-by-cell, nonzero on drift.
+
+    Reports cells missing from either store and cells whose counters or
+    payload digests disagree — the check to run after a model change (same
+    grid, before/after stores) or between two hosts' sweeps.  A path with
+    no results is an error, not an empty store: a typo must not turn the
+    drift check into a vacuous pass.
+    """
+    try:
+        store_a = open_store(args.store_a, args.store_backend, must_exist=True)
+        store_b = open_store(args.store_b, args.store_backend, must_exist=True)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records_a = {r.job.content_hash: r for r in store_a.records()}
+    records_b = {r.job.content_hash: r for r in store_b.records()}
+
+    only_a = [records_a[h] for h in records_a.keys() - records_b.keys()]
+    only_b = [records_b[h] for h in records_b.keys() - records_a.keys()]
+    changed: list[tuple[JobRecord, list[str]]] = []
+    for job_hash in records_a.keys() & records_b.keys():
+        drift = _record_drift(records_a[job_hash], records_b[job_hash])
+        if drift:
+            changed.append((records_a[job_hash], drift))
+
+    for record in sorted(only_a, key=lambda r: r.job.label()):
+        print(f"  only in {args.store_a}: {record.job.label()}")
+    for record in sorted(only_b, key=lambda r: r.job.label()):
+        print(f"  only in {args.store_b}: {record.job.label()}")
+    for record, drift in sorted(changed, key=lambda item: item[0].job.label()):
+        print(f"  changed {record.job.label()}: {', '.join(drift)}")
+    common = len(records_a.keys() & records_b.keys())
+    print(
+        f"diff: {common} common cells — {len(changed)} changed, "
+        f"{len(only_a)} only in A, {len(only_b)} only in B"
+    )
+    return 1 if (changed or only_a or only_b) else 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """``campaign compact``: rewrite a JSONL store / vacuum a SQLite store."""
+    try:
+        store = open_store(args.dir, args.store_backend, must_exist=True)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kept, dropped = store.compact()
+    print(
+        f"compacted {store.results_path}: kept {kept} records, "
+        f"dropped {dropped} stale entries"
+    )
     return 0
 
 
@@ -286,20 +404,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip re-running kernels on degraded inputs (timing-only sweep)",
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-job progress")
+    _add_store_backend(run)
     run.set_defaults(func=cmd_run)
 
     status = campaign_sub.add_parser(
         "status", help="compare the saved spec against results on disk"
     )
     status.add_argument("--dir", required=True, help="campaign directory")
+    _add_store_backend(status)
     status.set_defaults(func=cmd_status)
 
     export = campaign_sub.add_parser("export", help="flatten stored results to CSV")
     export.add_argument("--dir", required=True, help="campaign directory")
     export.add_argument("--csv", default="-", help="output path, or '-' for stdout")
+    _add_store_backend(export)
     export.set_defaults(func=cmd_export)
 
+    diff = campaign_sub.add_parser(
+        "diff", help="compare two result stores cell-by-cell (nonzero on drift)"
+    )
+    diff.add_argument("store_a", help="first store (campaign dir or .sqlite file)")
+    diff.add_argument("store_b", help="second store (campaign dir or .sqlite file)")
+    _add_store_backend(diff)
+    diff.set_defaults(func=cmd_diff)
+
+    compact = campaign_sub.add_parser(
+        "compact", help="drop stale JSONL lines / vacuum a SQLite store"
+    )
+    compact.add_argument("--dir", required=True, help="campaign directory")
+    _add_store_backend(compact)
+    compact.set_defaults(func=cmd_compact)
+
+    add_study_parser(sub)
+
     return parser
+
+
+def _add_store_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-backend",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="force the result-store backend (default: inferred from the path)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

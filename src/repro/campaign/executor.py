@@ -30,9 +30,11 @@ class CampaignResult:
 
     ``records`` maps job content hash to :class:`JobRecord`; ``jobs`` keeps
     the deterministic expansion order, so iteration order is stable.
+    ``spec`` is None for job lists whose coupled axes no single spec can
+    express (see :func:`repro.campaign.spec.expand_specs`).
     """
 
-    spec: CampaignSpec
+    spec: CampaignSpec | None
     jobs: list[Job] = field(default_factory=list)
     records: dict[str, JobRecord] = field(default_factory=dict)
 
@@ -82,7 +84,7 @@ class CampaignResult:
 
 
 def run_jobs(
-    spec: CampaignSpec,
+    spec: CampaignSpec | None,
     jobs: list[Job],
     store: ResultStore | None = None,
     workers: int = 1,
@@ -91,7 +93,8 @@ def run_jobs(
     """Execute an explicit job list (the engine behind :func:`run_campaign`).
 
     Args:
-        spec: the campaign the jobs belong to (kept on the result).
+        spec: the campaign the jobs belong to (kept on the result); None for
+            coupled-axis job lists no single spec can express.
         jobs: jobs to run, in collection order.
         store: optional persistent store; successful stored records are
             reused (failures are retried) and fresh records are appended.

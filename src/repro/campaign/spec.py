@@ -254,3 +254,20 @@ class CampaignSpec:
             compute_error=bool(data["compute_error"]),
             config_overrides=tuple(sorted(data["config_overrides"].items())),
         )
+
+
+def expand_specs(specs: "list[CampaignSpec] | tuple[CampaignSpec, ...]") -> list[Job]:
+    """Union of several grids as one deduplicated, deterministic job list.
+
+    A single :class:`CampaignSpec` is a pure cross product; grids whose axes
+    are *coupled* — Fig. 9 ties the lossy threshold to the MAG (MAG/2), a
+    GPU-scaling sweep ties ``config_overrides`` to the scaling point — are
+    expressed as one sub-spec per coupling and expanded here.  Cells shared
+    between sub-specs (e.g. a common baseline) run once: deduplication is by
+    content hash, keeping the first occurrence.
+    """
+    jobs: dict[str, Job] = {}
+    for spec in specs:
+        for job in spec.expand():
+            jobs.setdefault(job.content_hash, job)
+    return list(jobs.values())

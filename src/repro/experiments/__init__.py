@@ -1,15 +1,13 @@
-"""Experiment harness: one module per table/figure of the paper.
+"""Experiment harness: compatibility wrappers, one module per paper artefact.
 
-Every experiment exposes a ``run_*`` function returning plain data structures
-and a ``format_*`` function rendering them as the text table/series the paper
-plots, so the benchmarks under ``benchmarks/`` and the examples under
-``examples/`` can regenerate each artefact.
-
-The simulation-backed figures run on the campaign engine
-(:mod:`repro.campaign`): :func:`run_slc_study` expands its (workload ×
-scheme) grid into content-hashed jobs, so ``run_fig7``/``run_fig8``/
-``run_fig9`` accept ``workers=`` for parallel sweeps and ``store_dir=`` to
-serve previously simulated cells from the persistent result store.
+Every experiment still exposes its historical ``run_*`` function returning
+plain data structures and a ``format_*`` renderer, but the implementations
+live in the declarative Study framework (:mod:`repro.studies`): each figure
+is a registered :class:`~repro.studies.base.Study` whose grid runs on the
+campaign engine, so ``run_fig7``/``run_fig8``/``run_fig9`` accept
+``workers=`` for parallel sweeps and ``store_dir=`` to serve previously
+simulated cells from any result-store backend.  New code should use
+``repro.studies`` (or the ``repro study`` CLI) directly.
 """
 
 from repro.experiments.fig1_compression_ratio import (

@@ -1,74 +1,31 @@
-"""Fig. 1 — raw vs. effective compression ratio of BDI, FPC, C-PACK and E2MC.
+"""Fig. 1 — raw vs. effective compression ratio (compatibility wrapper).
 
-For every benchmark, every block of the workload's data is compressed with
-each technique; the raw ratio ignores MAG while the effective ratio rounds
-every compressed size up to the next 32 B multiple.  The paper's headline:
-the effective geometric mean is 18–23 % below the raw one for all four
-schemes.
+The implementation is :class:`repro.studies.compression.Fig1Study`; this
+module keeps the historical ``run_fig1``/``format_fig1`` entry points and
+re-exports the shared block helpers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.compression.registry import FIG1_COMPRESSORS
+from repro.studies.compression import (
+    Fig1Row,
+    Fig1Study,
+    compression_stats_for_blocks,
+    fig1_rows,
+    format_fig1,
+    workload_blocks,
+)
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
-from repro.compression.registry import FIG1_COMPRESSORS, get_compressor
-from repro.compression.stats import CompressionStats, geometric_mean
-from repro.utils.blocks import array_to_blocks
-from repro.utils.sampling import sample_evenly
-from repro.workloads.registry import PAPER_WORKLOAD_ORDER, get_workload
-
-
-@dataclass(frozen=True)
-class Fig1Row:
-    """Raw/effective ratio of one (benchmark, compressor) pair."""
-
-    workload: str
-    compressor: str
-    raw_ratio: float
-    effective_ratio: float
-
-    @property
-    def effective_loss_percent(self) -> float:
-        """How much the effective ratio falls short of the raw ratio."""
-        return (1.0 - self.effective_ratio / self.raw_ratio) * 100.0
-
-
-def workload_blocks(
-    name: str, scale: float | None = None, seed: int = 2019, block_size_bytes: int = 128
-) -> list[bytes]:
-    """All input-region blocks of one benchmark (the data Fig. 1/2 compress)."""
-    kwargs = {"seed": seed}
-    if scale is not None:
-        kwargs["scale"] = scale
-    workload = get_workload(name, **kwargs)
-    regions = workload.generate()
-    blocks: list[bytes] = []
-    for region in regions.values():
-        blocks.extend(array_to_blocks(region.array, block_size_bytes))
-    return blocks
-
-
-def compression_stats_for_blocks(
-    blocks: list[bytes],
-    compressor_name: str,
-    mag_bytes: int = 32,
-    block_size_bytes: int = 128,
-    train_samples: int = 1024,
-) -> CompressionStats:
-    """Compress ``blocks`` with one technique and accumulate MAG statistics."""
-    compressor = get_compressor(compressor_name, block_size_bytes=block_size_bytes)
-    compressor.train(sample_evenly(blocks, train_samples))
-    stats = CompressionStats(block_size_bytes=block_size_bytes, mag_bytes=mag_bytes)
-    if compressor_name == "e2mc":
-        # The compressed size of an E2MC block is the sum of its code lengths
-        # plus the parallel-decoding header; the batched LUT kernel computes
-        # every block's size in one gather + row sum, matching what the
-        # hardware adder tree does without any bit-level encoding.
-        stats.add_blocks(compressor.compressed_size_bits_batch(blocks))
-    else:
-        for block in blocks:
-            stats.add_block(compressor.compress(block).compressed_size_bits)
-    return stats
+__all__ = [
+    "Fig1Row",
+    "Fig1Study",
+    "run_fig1",
+    "format_fig1",
+    "workload_blocks",
+    "compression_stats_for_blocks",
+]
 
 
 def run_fig1(
@@ -79,48 +36,10 @@ def run_fig1(
     seed: int = 2019,
 ) -> list[Fig1Row]:
     """Regenerate the per-benchmark bars of Fig. 1 (plus the GM bars)."""
-    workload_names = list(workload_names or PAPER_WORKLOAD_ORDER)
-    compressors = list(compressors or FIG1_COMPRESSORS)
-    rows: list[Fig1Row] = []
-    per_compressor_raw: dict[str, list[float]] = {c: [] for c in compressors}
-    per_compressor_eff: dict[str, list[float]] = {c: [] for c in compressors}
-
-    for name in workload_names:
-        blocks = workload_blocks(name, scale=scale, seed=seed)
-        for compressor_name in compressors:
-            stats = compression_stats_for_blocks(blocks, compressor_name, mag_bytes)
-            rows.append(
-                Fig1Row(
-                    workload=name,
-                    compressor=compressor_name,
-                    raw_ratio=stats.raw_ratio,
-                    effective_ratio=stats.effective_ratio,
-                )
-            )
-            per_compressor_raw[compressor_name].append(stats.raw_ratio)
-            per_compressor_eff[compressor_name].append(stats.effective_ratio)
-
-    for compressor_name in compressors:
-        rows.append(
-            Fig1Row(
-                workload="GM",
-                compressor=compressor_name,
-                raw_ratio=geometric_mean(per_compressor_raw[compressor_name]),
-                effective_ratio=geometric_mean(per_compressor_eff[compressor_name]),
-            )
-        )
-    return rows
-
-
-def format_fig1(rows: list[Fig1Row]) -> str:
-    """Render the Fig. 1 data as a text table."""
-    lines = [
-        "Fig. 1 — raw vs. effective compression ratio (MAG = 32 B)",
-        f"{'benchmark':<8} {'scheme':<7} {'raw':>6} {'effective':>10} {'loss %':>7}",
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.workload:<8} {row.compressor:<7} {row.raw_ratio:>6.2f} "
-            f"{row.effective_ratio:>10.2f} {row.effective_loss_percent:>7.1f}"
-        )
-    return "\n".join(lines)
+    return fig1_rows(
+        list(workload_names or PAPER_WORKLOAD_ORDER),
+        list(compressors or FIG1_COMPRESSORS),
+        mag_bytes=mag_bytes,
+        scale=scale,
+        seed=seed,
+    )

@@ -1,60 +1,15 @@
-"""Fig. 2 — distribution of compressed blocks above MAG multiples (E2MC).
+"""Fig. 2 — compressed-block distribution (compatibility wrapper).
 
-For every benchmark the blocks are compressed with E2MC and binned by how
-many bytes their compressed size lies above the largest MAG multiple below
-it.  Blocks at or below one MAG land in the 0 B bin, uncompressed blocks in
-the 32 B bin.  The paper's observation: a significant share of blocks sit
-only a few bytes above a multiple — the opportunity SLC exploits.
+The implementation is :class:`repro.studies.compression.Fig2Study`; this
+module keeps the historical ``run_fig2``/``format_fig2`` entry points.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.experiments.fig1_compression_ratio import (
-    compression_stats_for_blocks,
-    workload_blocks,
-)
+from repro.studies.compression import Fig2Distribution, Fig2Study, format_fig2
 from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
-
-@dataclass
-class Fig2Distribution:
-    """Per-benchmark histograms of bytes-above-MAG (fractions of all blocks)."""
-
-    mag_bytes: int = 32
-    per_workload: dict[str, dict[int, float]] = field(default_factory=dict)
-
-    def heatmap(self, bin_width: int = 4) -> tuple[list[str], list[int], list[list[float]]]:
-        """The Fig. 2 heat map: benchmarks × byte bins → fraction of blocks.
-
-        Returns (workload names, bin lower edges, matrix of fractions).
-        """
-        edges = list(range(0, self.mag_bytes + bin_width, bin_width))
-        matrix: list[list[float]] = []
-        names = list(self.per_workload)
-        for name in names:
-            histogram = self.per_workload[name]
-            row = [0.0] * len(edges)
-            for extra_bytes, fraction in histogram.items():
-                bin_index = min(len(edges) - 1, extra_bytes // bin_width)
-                row[bin_index] += fraction
-            matrix.append(row)
-        return names, edges, matrix
-
-    def fraction_within_threshold(self, workload: str, threshold_bytes: int) -> float:
-        """Fraction of blocks at most ``threshold_bytes`` above a MAG multiple.
-
-        Blocks exactly on a multiple (the 0 B bin) are excluded: they need no
-        approximation.  This is the share of blocks SLC can convert to the
-        lower budget with the given lossy threshold.
-        """
-        histogram = self.per_workload[workload]
-        return sum(
-            fraction
-            for extra, fraction in histogram.items()
-            if 0 < extra <= threshold_bytes
-        )
+__all__ = ["Fig2Distribution", "Fig2Study", "run_fig2", "format_fig2"]
 
 
 def run_fig2(
@@ -64,24 +19,10 @@ def run_fig2(
     seed: int = 2019,
 ) -> Fig2Distribution:
     """Regenerate the Fig. 2 distribution using the E2MC compressor."""
-    workload_names = list(workload_names or PAPER_WORKLOAD_ORDER)
-    distribution = Fig2Distribution(mag_bytes=mag_bytes)
-    for name in workload_names:
-        blocks = workload_blocks(name, scale=scale, seed=seed)
-        stats = compression_stats_for_blocks(blocks, "e2mc", mag_bytes)
-        distribution.per_workload[name] = stats.extra_byte_distribution()
-    return distribution
-
-
-def format_fig2(distribution: Fig2Distribution, bin_width: int = 4) -> str:
-    """Render the Fig. 2 heat map as a text table (percent of blocks)."""
-    names, edges, matrix = distribution.heatmap(bin_width=bin_width)
-    header = "bytes above MAG:" + "".join(f"{edge:>7}" for edge in edges)
-    lines = [
-        f"Fig. 2 — distribution of compressed blocks above MAG (MAG = {distribution.mag_bytes} B)",
-        header,
-    ]
-    for name, row in zip(names, matrix):
-        cells = "".join(f"{100.0 * value:>7.1f}" for value in row)
-        lines.append(f"{name:<16}{cells}")
-    return "\n".join(lines)
+    study = Fig2Study(
+        workloads=tuple(workload_names or PAPER_WORKLOAD_ORDER),
+        mag_bytes=mag_bytes,
+        scale=scale,
+        seed=seed,
+    )
+    return study.run().data

@@ -1,34 +1,19 @@
-"""Fig. 7 — speedup and application error of the TSLC variants vs. E2MC.
+"""Fig. 7 — TSLC speedup and application error (compatibility wrapper).
 
-TSLC-SIMP, TSLC-PRED and TSLC-OPT are simulated with a 16 B lossy threshold
-and 32 B MAG; speedups are normalized to the E2MC lossless baseline and the
-error uses each benchmark's Table III metric.  Paper shape: 5–17 % speedup
-per benchmark (≈ 9–10 % geometric mean), with errors well below 10 % and the
-prediction-based variants much more accurate than plain truncation.
+The implementation is :class:`repro.studies.performance.Fig7Study`; this
+module keeps the historical ``run_fig7``/``format_fig7`` entry points,
+including the ``study=`` shortcut Fig. 8 uses to avoid re-simulating.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.config import SLCVariant
-from repro.experiments.runner import (
-    BASELINE_LABEL,
-    VARIANT_LABELS,
-    SLCStudy,
-    run_slc_study,
-)
+from repro.campaign.spec import config_to_overrides
+from repro.experiments.runner import BASELINE_LABEL, SLCStudy
 from repro.gpu.config import GPUConfig
+from repro.studies.performance import Fig7Row, Fig7Study, fig7_rows, format_fig7
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
-
-@dataclass(frozen=True)
-class Fig7Row:
-    """Speedup/error of one (benchmark, TSLC variant) pair."""
-
-    workload: str
-    scheme: str
-    speedup: float
-    error_percent: float
+__all__ = ["Fig7Row", "Fig7Study", "run_fig7", "format_fig7", "BASELINE_LABEL"]
 
 
 def run_fig7(
@@ -48,51 +33,13 @@ def run_fig7(
     The study runs as a campaign: ``workers`` parallelizes the grid and
     ``store_dir`` serves already-simulated cells from the result store.
     """
-    if study is None:
-        study = run_slc_study(
-            workload_names=workload_names,
-            variants=[SLCVariant.SIMP, SLCVariant.PRED, SLCVariant.OPT],
-            lossy_threshold_bytes=lossy_threshold_bytes,
-            scale=scale,
-            seed=seed,
-            config=config,
-            workers=workers,
-            store_dir=store_dir,
-        )
-    rows: list[Fig7Row] = []
-    schemes = [s for s in study.schemes() if s != study.baseline_label]
-    for workload in study.workloads():
-        for scheme in schemes:
-            rows.append(
-                Fig7Row(
-                    workload=workload,
-                    scheme=scheme,
-                    speedup=study.speedup(workload, scheme),
-                    error_percent=study.error_percent(workload, scheme),
-                )
-            )
-    for scheme in schemes:
-        rows.append(
-            Fig7Row(
-                workload="GM",
-                scheme=scheme,
-                speedup=study.geomean("speedup", scheme),
-                error_percent=float("nan"),
-            )
-        )
-    return rows, study
-
-
-def format_fig7(rows: list[Fig7Row]) -> str:
-    """Render the Fig. 7 data as a text table."""
-    lines = [
-        "Fig. 7 — speedup and error of TSLC vs. E2MC "
-        f"(baseline = {BASELINE_LABEL}, threshold 16 B, MAG 32 B)",
-        f"{'benchmark':<9} {'scheme':<10} {'speedup':>8} {'error %':>9}",
-    ]
-    for row in rows:
-        error = "-" if row.error_percent != row.error_percent else f"{row.error_percent:.4f}"
-        lines.append(
-            f"{row.workload:<9} {row.scheme:<10} {row.speedup:>8.3f} {error:>9}"
-        )
-    return "\n".join(lines)
+    if study is not None:
+        return fig7_rows(study), study
+    result = Fig7Study(
+        workloads=tuple(workload_names or PAPER_WORKLOAD_ORDER),
+        lossy_threshold_bytes=lossy_threshold_bytes,
+        scale=scale,
+        seed=seed,
+        config_overrides=config_to_overrides(config),
+    ).run(store=store_dir, workers=workers)
+    return result.data["rows"], result.data["study"]

@@ -1,28 +1,19 @@
-"""Fig. 8 — off-chip bandwidth, energy and EDP of TSLC normalized to E2MC.
+"""Fig. 8 — normalized bandwidth/energy/EDP (compatibility wrapper).
 
-Reuses the Fig. 7 simulation study.  Paper shape: roughly 14 % less off-chip
-traffic, about 8 % less energy and about 17 % lower EDP at the geometric
-mean, with only slight differences between the three TSLC variants.
+The implementation is :class:`repro.studies.performance.Fig8Study`; this
+module keeps the historical ``run_fig8``/``format_fig8`` entry points,
+including reuse of an existing Fig. 7 study.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.config import SLCVariant
-from repro.experiments.runner import VARIANT_LABELS, SLCStudy, run_slc_study
+from repro.campaign.spec import config_to_overrides
+from repro.experiments.runner import SLCStudy
 from repro.gpu.config import GPUConfig
+from repro.studies.performance import Fig8Row, Fig8Study, fig8_rows, format_fig8
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
-
-@dataclass(frozen=True)
-class Fig8Row:
-    """Normalized bandwidth/energy/EDP of one (benchmark, variant) pair."""
-
-    workload: str
-    scheme: str
-    normalized_bandwidth: float
-    normalized_energy: float
-    normalized_edp: float
+__all__ = ["Fig8Row", "Fig8Study", "run_fig8", "format_fig8"]
 
 
 def run_fig8(
@@ -40,53 +31,13 @@ def run_fig8(
     Runs as a campaign when no ``study`` is supplied: ``workers``
     parallelizes the grid, ``store_dir`` enables the persistent cache.
     """
-    if study is None:
-        study = run_slc_study(
-            workload_names=workload_names,
-            variants=[SLCVariant.SIMP, SLCVariant.PRED, SLCVariant.OPT],
-            lossy_threshold_bytes=lossy_threshold_bytes,
-            scale=scale,
-            seed=seed,
-            config=config,
-            compute_error=False,
-            workers=workers,
-            store_dir=store_dir,
-        )
-    schemes = [s for s in study.schemes() if s != study.baseline_label]
-    rows: list[Fig8Row] = []
-    for workload in study.workloads():
-        for scheme in schemes:
-            rows.append(
-                Fig8Row(
-                    workload=workload,
-                    scheme=scheme,
-                    normalized_bandwidth=study.normalized_bandwidth(workload, scheme),
-                    normalized_energy=study.normalized_energy(workload, scheme),
-                    normalized_edp=study.normalized_edp(workload, scheme),
-                )
-            )
-    for scheme in schemes:
-        rows.append(
-            Fig8Row(
-                workload="GM",
-                scheme=scheme,
-                normalized_bandwidth=study.geomean("bandwidth", scheme),
-                normalized_energy=study.geomean("energy", scheme),
-                normalized_edp=study.geomean("edp", scheme),
-            )
-        )
-    return rows, study
-
-
-def format_fig8(rows: list[Fig8Row]) -> str:
-    """Render the Fig. 8 data as a text table."""
-    lines = [
-        "Fig. 8 — bandwidth, energy and EDP of TSLC normalized to E2MC",
-        f"{'benchmark':<9} {'scheme':<10} {'bandwidth':>10} {'energy':>8} {'EDP':>8}",
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.workload:<9} {row.scheme:<10} {row.normalized_bandwidth:>10.3f} "
-            f"{row.normalized_energy:>8.3f} {row.normalized_edp:>8.3f}"
-        )
-    return "\n".join(lines)
+    if study is not None:
+        return fig8_rows(study), study
+    result = Fig8Study(
+        workloads=tuple(workload_names or PAPER_WORKLOAD_ORDER),
+        lossy_threshold_bytes=lossy_threshold_bytes,
+        scale=scale,
+        seed=seed,
+        config_overrides=config_to_overrides(config),
+    ).run(store=store_dir, workers=workers)
+    return result.data["rows"], result.data["study"]

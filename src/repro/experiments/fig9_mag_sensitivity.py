@@ -1,38 +1,28 @@
-"""Fig. 9 / Section V-C — sensitivity of SLC to the memory access granularity.
+"""Fig. 9 / Section V-C — MAG sensitivity (compatibility wrapper).
 
-TSLC-OPT is simulated with MAGs of 16, 32 and 64 B, with the lossy threshold
-set to half the MAG (the paper's choice, because one threshold is not
-meaningful across MAGs).  Section V-C also reports the E2MC effective
-compression ratio at each MAG (1.41 / 1.31 / 1.16 with a MAG-independent raw
-ratio of 1.54), which :func:`run_effective_ratio_by_mag` regenerates.
+The implementation is :class:`repro.studies.performance.Fig9Study` (a
+coupled grid: threshold = MAG/2 per sub-spec); this module keeps the
+historical ``run_fig9``/``format_fig9``/``run_effective_ratio_by_mag``
+entry points.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.compression.stats import geometric_mean
-from repro.core.config import SLCVariant
-from repro.experiments.fig1_compression_ratio import (
-    compression_stats_for_blocks,
-    workload_blocks,
-)
-from repro.experiments.runner import VARIANT_LABELS, SLCStudy, run_slc_study
+from repro.campaign.spec import config_to_overrides
+from repro.experiments.runner import SLCStudy
 from repro.gpu.config import GPUConfig
+from repro.studies.compression import FIG9_MAGS, effective_ratio_by_mag
+from repro.studies.performance import Fig9Row, Fig9Study, format_fig9
 from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
-#: MAGs evaluated in Fig. 9
-FIG9_MAGS = (16, 32, 64)
-
-
-@dataclass(frozen=True)
-class Fig9Row:
-    """Speedup/error of TSLC-OPT at one MAG for one benchmark."""
-
-    workload: str
-    mag_bytes: int
-    speedup: float
-    error_percent: float
+__all__ = [
+    "FIG9_MAGS",
+    "Fig9Row",
+    "Fig9Study",
+    "run_fig9",
+    "format_fig9",
+    "run_effective_ratio_by_mag",
+]
 
 
 def run_fig9(
@@ -46,43 +36,17 @@ def run_fig9(
 ) -> tuple[list[Fig9Row], dict[int, SLCStudy]]:
     """Regenerate Fig. 9 (per-benchmark rows plus GM rows, one study per MAG).
 
-    Each MAG runs as its own campaign; a shared ``store_dir`` caches all of
-    them side by side (MAG and threshold are part of every job's hash).
+    The MAGs run as one coupled campaign grid; a shared ``store_dir`` caches
+    every cell (MAG and threshold are part of every job's hash).
     """
-    rows: list[Fig9Row] = []
-    studies: dict[int, SLCStudy] = {}
-    opt_label = VARIANT_LABELS[SLCVariant.OPT]
-    for mag in mags:
-        study = run_slc_study(
-            workload_names=workload_names,
-            variants=[SLCVariant.OPT],
-            lossy_threshold_bytes=mag // 2,
-            mag_bytes=mag,
-            scale=scale,
-            seed=seed,
-            config=config,
-            workers=workers,
-            store_dir=store_dir,
-        )
-        studies[mag] = study
-        for workload in study.workloads():
-            rows.append(
-                Fig9Row(
-                    workload=workload,
-                    mag_bytes=mag,
-                    speedup=study.speedup(workload, opt_label),
-                    error_percent=study.error_percent(workload, opt_label),
-                )
-            )
-        rows.append(
-            Fig9Row(
-                workload="GM",
-                mag_bytes=mag,
-                speedup=study.geomean("speedup", opt_label),
-                error_percent=float("nan"),
-            )
-        )
-    return rows, studies
+    result = Fig9Study(
+        workloads=tuple(workload_names or PAPER_WORKLOAD_ORDER),
+        mags=tuple(mags),
+        scale=scale,
+        seed=seed,
+        config_overrides=config_to_overrides(config),
+    ).run(store=store_dir, workers=workers)
+    return result.data["rows"], result.data["studies"]
 
 
 def run_effective_ratio_by_mag(
@@ -96,34 +60,4 @@ def run_effective_ratio_by_mag(
     Returns ``{mag: {"raw": gm_raw, "effective": gm_effective}}``; the raw
     geometric mean is identical across MAGs by construction.
     """
-    workload_names = list(workload_names or PAPER_WORKLOAD_ORDER)
-    results: dict[int, dict[str, float]] = {}
-    per_workload_blocks = {
-        name: workload_blocks(name, scale=scale, seed=seed) for name in workload_names
-    }
-    for mag in mags:
-        raw_values = []
-        effective_values = []
-        for name in workload_names:
-            stats = compression_stats_for_blocks(per_workload_blocks[name], "e2mc", mag)
-            raw_values.append(stats.raw_ratio)
-            effective_values.append(stats.effective_ratio)
-        results[mag] = {
-            "raw": geometric_mean(raw_values),
-            "effective": geometric_mean(effective_values),
-        }
-    return results
-
-
-def format_fig9(rows: list[Fig9Row]) -> str:
-    """Render the Fig. 9 data as a text table."""
-    lines = [
-        "Fig. 9 — TSLC-OPT speedup and error across MAGs (threshold = MAG/2)",
-        f"{'benchmark':<9} {'MAG (B)':>8} {'speedup':>8} {'error %':>9}",
-    ]
-    for row in rows:
-        error = "-" if row.error_percent != row.error_percent else f"{row.error_percent:.4f}"
-        lines.append(
-            f"{row.workload:<9} {row.mag_bytes:>8} {row.speedup:>8.3f} {error:>9}"
-        )
-    return "\n".join(lines)
+    return effective_ratio_by_mag(workload_names, mags=mags, scale=scale, seed=seed)

@@ -1,43 +1,36 @@
-"""Shared machinery for the evaluation experiments (Figs. 7–9).
+"""Compatibility wrappers for the evaluation experiments (Figs. 7–9).
 
-The central object is :class:`SLCStudy`: for every benchmark it simulates the
-E2MC lossless baseline and the requested TSLC variants on the same workload
-data and exposes the normalized metrics of the paper's figures (speedup,
-application error, bandwidth, energy, EDP).
-
-Since the campaign subsystem landed, :func:`run_slc_study` is a thin wrapper
-over :func:`repro.campaign.run_campaign`: the (workload × scheme) grid is a
-:class:`~repro.campaign.CampaignSpec`, which buys parallel execution
-(``workers``) and persistent caching (``store_dir``) for free while keeping
-the serial semantics bit-identical.
+The implementation lives in the declarative Study framework now
+(:mod:`repro.studies`): :class:`~repro.studies.slc.SLCSweepStudy` owns the
+(workload × scheme) grid and the :class:`~repro.studies.slc.SLCStudy`
+aggregation; this module re-exports the historical entry points
+(``run_slc_study``, ``SLCStudy``, the backend builders) unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from pathlib import Path
-
-from repro.campaign.executor import run_campaign
-from repro.campaign.spec import (
-    BASELINE_SCHEME,
-    SCHEME_VARIANTS,
-    CampaignSpec,
-    config_to_overrides,
-)
-from repro.campaign.store import ResultStore
+from repro.campaign.spec import BASELINE_SCHEME
 from repro.campaign.worker import build_backend
-from repro.compression.stats import geometric_mean
 from repro.core.config import SLCVariant
 from repro.gpu.backends import LosslessBackend, SLCBackend
 from repro.gpu.config import GPUConfig
-from repro.gpu.simulator import SimulationResult
-from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+from repro.studies.slc import (
+    BASELINE_LABEL,
+    VARIANT_LABELS,
+    SLCStudy,
+    run_slc_study,
+    slc_study_from_records,
+)
 
-#: backend label used for the lossless baseline in every study
-BASELINE_LABEL = BASELINE_SCHEME
-
-#: the three TSLC variants of Fig. 7/8, in plotting order
-VARIANT_LABELS = {variant: label for label, variant in SCHEME_VARIANTS.items()}
+__all__ = [
+    "BASELINE_LABEL",
+    "VARIANT_LABELS",
+    "SLCStudy",
+    "run_slc_study",
+    "slc_study_from_records",
+    "make_e2mc_backend",
+    "make_slc_backend",
+]
 
 
 def make_e2mc_backend(config: GPUConfig, mag_bytes: int | None = None) -> LosslessBackend:
@@ -58,126 +51,3 @@ def make_slc_backend(
         lossy_threshold_bytes=lossy_threshold_bytes,
         mag_bytes=mag_bytes,
     )
-
-
-@dataclass
-class SLCStudy:
-    """Results of simulating all benchmarks under the baseline and variants.
-
-    ``results[workload][scheme]`` holds the :class:`SimulationResult` of one
-    (workload, scheme) pair; ``scheme`` is :data:`BASELINE_LABEL` or one of
-    the variant labels.
-    """
-
-    baseline_label: str = BASELINE_LABEL
-    results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
-
-    def workloads(self) -> list[str]:
-        """Benchmarks in the order they were simulated."""
-        return list(self.results)
-
-    def schemes(self) -> list[str]:
-        """Union of scheme labels across all workloads (baseline first)."""
-        labels: list[str] = []
-        for per_scheme in self.results.values():
-            for label in per_scheme:
-                if label not in labels:
-                    labels.append(label)
-        if self.baseline_label in labels:
-            labels.remove(self.baseline_label)
-            labels.insert(0, self.baseline_label)
-        return labels
-
-    # ------------------------------------------------------------------ #
-    # normalized metrics (the y-axes of Figs. 7–9)
-
-    def speedup(self, workload: str, scheme: str) -> float:
-        """Execution-time speedup of ``scheme`` over the baseline."""
-        baseline = self.results[workload][self.baseline_label]
-        return self.results[workload][scheme].speedup_over(baseline)
-
-    def error_percent(self, workload: str, scheme: str) -> float:
-        """Application error of ``scheme`` in percent."""
-        return self.results[workload][scheme].error_percent
-
-    def normalized_bandwidth(self, workload: str, scheme: str) -> float:
-        """Off-chip traffic normalized to the baseline (lower is better)."""
-        baseline = self.results[workload][self.baseline_label]
-        return self.results[workload][scheme].bandwidth_ratio_over(baseline)
-
-    def normalized_energy(self, workload: str, scheme: str) -> float:
-        """Energy normalized to the baseline (lower is better)."""
-        baseline = self.results[workload][self.baseline_label]
-        return self.results[workload][scheme].energy_ratio_over(baseline)
-
-    def normalized_edp(self, workload: str, scheme: str) -> float:
-        """EDP normalized to the baseline (lower is better)."""
-        baseline = self.results[workload][self.baseline_label]
-        return self.results[workload][scheme].edp_ratio_over(baseline)
-
-    def geomean(self, metric: str, scheme: str) -> float:
-        """Geometric mean of a normalized metric over all benchmarks."""
-        getter = {
-            "speedup": self.speedup,
-            "bandwidth": self.normalized_bandwidth,
-            "energy": self.normalized_energy,
-            "edp": self.normalized_edp,
-        }[metric]
-        return geometric_mean([getter(w, scheme) for w in self.workloads()])
-
-
-def run_slc_study(
-    workload_names: list[str] | None = None,
-    variants: list[SLCVariant] | None = None,
-    lossy_threshold_bytes: int = 16,
-    mag_bytes: int | None = None,
-    scale: float | None = None,
-    seed: int = 2019,
-    config: GPUConfig | None = None,
-    compute_error: bool = True,
-    workers: int = 1,
-    store_dir: str | Path | None = None,
-) -> SLCStudy:
-    """Simulate every benchmark under E2MC and the requested TSLC variants.
-
-    Args:
-        workload_names: benchmarks to include (default: all nine, paper order).
-        variants: TSLC variants to simulate (default: SIMP, PRED, OPT).
-        lossy_threshold_bytes: the SLC lossy threshold (16 B in Fig. 7/8).
-        mag_bytes: memory access granularity (default: the GPU config's 32 B).
-        scale: workload input scale (default: each workload's default).
-        seed: RNG seed for data generation.
-        config: GPU configuration (Table II defaults).
-        compute_error: whether to re-run kernels on degraded inputs to obtain
-            the application error (disable for timing-only studies).
-        workers: worker processes for the sweep (1 = in-process, serial).
-        store_dir: optional campaign directory; when set, already-computed
-            (workload, scheme) cells are served from the persistent store.
-    """
-    workload_names = list(workload_names or PAPER_WORKLOAD_ORDER)
-    variants = list(variants or [SLCVariant.SIMP, SLCVariant.PRED, SLCVariant.OPT])
-    spec = CampaignSpec(
-        name="slc-study",
-        workloads=tuple(workload_names),
-        schemes=(BASELINE_SCHEME, *(VARIANT_LABELS[v] for v in variants)),
-        lossy_thresholds=(lossy_threshold_bytes,),
-        mags=(mag_bytes,),
-        scales=(scale,),
-        seeds=(seed,),
-        compute_error=compute_error,
-        config_overrides=config_to_overrides(config),
-    )
-    store = ResultStore(store_dir) if store_dir is not None else None
-    outcome = run_campaign(spec, store=store, workers=workers)
-    outcome.raise_for_failures()
-
-    # Key the study by the names the caller passed (jobs normalize to
-    # uppercase internally), so e.g. workload_names=["bs"] stays "bs".
-    names_by_upper: dict[str, str] = {}
-    for name in workload_names:
-        names_by_upper.setdefault(name.upper(), name)
-    study = SLCStudy()
-    for job, record in outcome.iter_records():
-        name = names_by_upper.get(job.workload, job.workload)
-        study.results.setdefault(name, {})[job.scheme] = record.result
-    return study

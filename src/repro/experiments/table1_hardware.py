@@ -1,8 +1,15 @@
-"""Table I — frequency, area and power of the SLC hardware additions."""
+"""Table I — SLC hardware cost (compatibility wrapper).
+
+The implementation is :class:`repro.studies.hardware.Table1Study`; this
+module keeps the historical ``run_table1``/``format_table1`` entry points.
+"""
 
 from __future__ import annotations
 
 from repro.hardware.synthesis import SynthesisResult, overhead_summary, table1
+from repro.studies.hardware import Table1Study, format_table1
+
+__all__ = ["Table1Study", "run_table1", "run_overhead_summary", "format_table1"]
 
 
 def run_table1() -> dict[str, SynthesisResult]:
@@ -13,26 +20,3 @@ def run_table1() -> dict[str, SynthesisResult]:
 def run_overhead_summary() -> dict[str, float]:
     """The Section III-H overhead percentages (vs. GTX580 and E2MC)."""
     return overhead_summary()
-
-
-def format_table1(results: dict[str, SynthesisResult] | None = None) -> str:
-    """Render Table I plus the overhead summary as text."""
-    results = results or run_table1()
-    summary = run_overhead_summary()
-    lines = [
-        "Table I — frequency, area and power of SLC (32 nm analytic model)",
-        f"{'unit':<14} {'freq (GHz)':>11} {'area (mm^2)':>12} {'power (mW)':>11}",
-    ]
-    for label in ("compressor", "decompressor"):
-        result = results[label]
-        lines.append(
-            f"{label:<14} {result.frequency_ghz:>11.2f} {result.area_mm2:>12.5f} "
-            f"{result.power_mw:>11.3f}"
-        )
-    lines.append(
-        "overhead: "
-        f"{summary['area_percent_of_gtx580']:.4f}% of GTX580 area, "
-        f"{summary['power_percent_of_gtx580']:.4f}% of GTX580 power, "
-        f"{summary['area_percent_of_e2mc']:.1f}% of E2MC area"
-    )
-    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Threshold-ablation study: what the lossy threshold buys and costs.
+
+Not a paper figure — this quantifies the central SLC mechanism by sweeping
+the lossy threshold for one workload/scheme through the full simulator (the
+grid the ablation benchmark under ``benchmarks/`` rides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import JobRecord
+from repro.studies.base import Study, StudyResult
+from repro.studies.registry import register_study
+
+#: the default threshold axis (0 disables the lossy path entirely)
+ABLATION_THRESHOLDS = (0, 4, 8, 16, 24, 32)
+
+
+@register_study
+@dataclass
+class ThresholdAblationStudy(Study):
+    """Lossy-threshold sweep: converted-block fraction vs. DRAM bursts.
+
+    A higher threshold can only convert more blocks to the lossy path and
+    never costs bursts; ``aggregate`` exposes both monotonic series.
+    """
+
+    name = "ablation-threshold"
+    title = "Ablation — lossy threshold vs. converted blocks and DRAM bursts"
+
+    workload: str = "FWT"
+    scheme: str = "TSLC-OPT"
+    thresholds: tuple[int, ...] = ABLATION_THRESHOLDS
+    scale: float | None = None
+    seed: int = 2019
+
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec(
+            name="threshold-ablation",
+            workloads=(self.workload,),
+            schemes=(self.scheme,),
+            lossy_thresholds=tuple(self.thresholds),
+            scales=(self.scale,),
+            seeds=(self.seed,),
+            compute_error=False,
+        )
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        by_threshold: dict[int, tuple[float, int]] = {}
+        for record in records:
+            result = record.result
+            by_threshold[record.job.lossy_threshold_bytes] = (
+                result.lossy_blocks / result.stored_blocks,
+                result.total_bursts,
+            )
+        rows = [
+            {
+                "lossy_threshold_bytes": threshold,
+                "lossy_fraction": fraction,
+                "total_bursts": bursts,
+            }
+            for threshold, (fraction, bursts) in sorted(by_threshold.items())
+        ]
+        return self.make_result(rows, data=by_threshold)

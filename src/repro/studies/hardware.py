@@ -1,0 +1,67 @@
+"""Table I — frequency, area and power of the SLC hardware additions.
+
+Analysis-only: the numbers come from the 32 nm analytic cost model in
+:mod:`repro.hardware.synthesis`, not from simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.store import JobRecord
+from repro.hardware.synthesis import SynthesisResult, overhead_summary, table1
+from repro.studies.base import Study, StudyResult
+from repro.studies.registry import register_study
+
+
+def format_table1(results: dict[str, SynthesisResult] | None = None) -> str:
+    """Render Table I plus the overhead summary as text."""
+    results = results or table1()
+    summary = overhead_summary()
+    lines = [
+        "Table I — frequency, area and power of SLC (32 nm analytic model)",
+        f"{'unit':<14} {'freq (GHz)':>11} {'area (mm^2)':>12} {'power (mW)':>11}",
+    ]
+    for label in ("compressor", "decompressor"):
+        result = results[label]
+        lines.append(
+            f"{label:<14} {result.frequency_ghz:>11.2f} {result.area_mm2:>12.5f} "
+            f"{result.power_mw:>11.3f}"
+        )
+    lines.append(
+        "overhead: "
+        f"{summary['area_percent_of_gtx580']:.4f}% of GTX580 area, "
+        f"{summary['power_percent_of_gtx580']:.4f}% of GTX580 power, "
+        f"{summary['area_percent_of_e2mc']:.1f}% of E2MC area"
+    )
+    return "\n".join(lines)
+
+
+@register_study
+@dataclass
+class Table1Study(Study):
+    """Table I — synthesis results of the SLC compressor/decompressor."""
+
+    name = "table1"
+    title = "Table I — SLC hardware frequency, area and power"
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        results = table1()
+        summary = overhead_summary()
+        rows = [
+            {
+                "unit": label,
+                "frequency_ghz": result.frequency_ghz,
+                "area_mm2": result.area_mm2,
+                "power_mw": result.power_mw,
+            }
+            for label, result in results.items()
+        ]
+        for key, value in summary.items():
+            rows.append(
+                {"unit": key, "frequency_ghz": None, "area_mm2": None, "power_mw": value}
+            )
+        return self.make_result(rows, data={"results": results, "summary": summary})
+
+    def format(self, result: StudyResult) -> str:
+        return format_table1(result.data["results"])

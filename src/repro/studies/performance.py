@@ -1,0 +1,342 @@
+"""Simulation-backed figure studies (Fig. 7, Fig. 8, Fig. 9).
+
+All three ride the campaign engine through :class:`SLCSweepStudy`-shaped
+grids; Fig. 9's threshold is coupled to the MAG (MAG/2), so its grid is a
+union of per-MAG sub-specs (:func:`repro.campaign.spec.expand_specs`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    CampaignSpec,
+    Job,
+    Overrides,
+    expand_specs,
+)
+from repro.campaign.store import JobRecord
+from repro.core.config import SLCVariant
+from repro.studies.base import Study, StudyResult
+from repro.studies.compression import FIG9_MAGS
+from repro.studies.registry import register_study
+from repro.studies.slc import (
+    BASELINE_LABEL,
+    VARIANT_LABELS,
+    SLCStudy,
+    SLCSweepStudy,
+    slc_study_from_records,
+)
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+
+# --------------------------------------------------------------------- #
+# Fig. 7
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """Speedup/error of one (benchmark, TSLC variant) pair."""
+
+    workload: str
+    scheme: str
+    speedup: float
+    error_percent: float
+
+
+def fig7_rows(study: SLCStudy) -> list[Fig7Row]:
+    """The Fig. 7 rows (per benchmark plus GM) of an existing study."""
+    rows: list[Fig7Row] = []
+    schemes = [s for s in study.schemes() if s != study.baseline_label]
+    for workload in study.workloads():
+        for scheme in schemes:
+            rows.append(
+                Fig7Row(
+                    workload=workload,
+                    scheme=scheme,
+                    speedup=study.speedup(workload, scheme),
+                    error_percent=study.error_percent(workload, scheme),
+                )
+            )
+    for scheme in schemes:
+        rows.append(
+            Fig7Row(
+                workload="GM",
+                scheme=scheme,
+                speedup=study.geomean("speedup", scheme),
+                error_percent=float("nan"),
+            )
+        )
+    return rows
+
+
+def format_fig7(rows: list[Fig7Row]) -> str:
+    """Render the Fig. 7 data as a text table."""
+    lines = [
+        "Fig. 7 — speedup and error of TSLC vs. E2MC "
+        f"(baseline = {BASELINE_LABEL}, threshold 16 B, MAG 32 B)",
+        f"{'benchmark':<9} {'scheme':<10} {'speedup':>8} {'error %':>9}",
+    ]
+    for row in rows:
+        error = "-" if row.error_percent != row.error_percent else f"{row.error_percent:.4f}"
+        lines.append(
+            f"{row.workload:<9} {row.scheme:<10} {row.speedup:>8.3f} {error:>9}"
+        )
+    return "\n".join(lines)
+
+
+@register_study
+@dataclass
+class Fig7Study(Study):
+    """Fig. 7 — speedup and application error of the TSLC variants vs. E2MC.
+
+    16 B lossy threshold, 32 B MAG; speedups are normalized to the E2MC
+    lossless baseline and the error uses each benchmark's Table III metric.
+    """
+
+    name = "fig7"
+    title = "Fig. 7 — TSLC speedup and application error vs. E2MC"
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    lossy_threshold_bytes: int = 16
+    mag_bytes: int | None = None
+    scale: float | None = None
+    seed: int = 2019
+    config_overrides: Overrides = ()
+
+    def spec(self) -> CampaignSpec:
+        # One grid definition for every SLC-sweep-shaped study: delegate to
+        # SLCSweepStudy so the axes can't drift apart between figures.
+        return SLCSweepStudy(
+            workloads=tuple(self.workloads),
+            lossy_threshold_bytes=self.lossy_threshold_bytes,
+            mag_bytes=self.mag_bytes,
+            scale=self.scale,
+            seed=self.seed,
+            compute_error=True,
+            config_overrides=tuple(self.config_overrides),
+        ).spec()
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        study = slc_study_from_records(records, list(self.workloads))
+        rows = fig7_rows(study)
+        flat = [
+            {
+                "workload": row.workload,
+                "scheme": row.scheme,
+                "speedup": row.speedup,
+                "error_percent": row.error_percent,
+            }
+            for row in rows
+        ]
+        return self.make_result(flat, data={"rows": rows, "study": study})
+
+    def format(self, result: StudyResult) -> str:
+        return format_fig7(result.data["rows"])
+
+
+# --------------------------------------------------------------------- #
+# Fig. 8
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """Normalized bandwidth/energy/EDP of one (benchmark, variant) pair."""
+
+    workload: str
+    scheme: str
+    normalized_bandwidth: float
+    normalized_energy: float
+    normalized_edp: float
+
+
+def fig8_rows(study: SLCStudy) -> list[Fig8Row]:
+    """The Fig. 8 rows (per benchmark plus GM) of an existing study."""
+    schemes = [s for s in study.schemes() if s != study.baseline_label]
+    rows: list[Fig8Row] = []
+    for workload in study.workloads():
+        for scheme in schemes:
+            rows.append(
+                Fig8Row(
+                    workload=workload,
+                    scheme=scheme,
+                    normalized_bandwidth=study.normalized_bandwidth(workload, scheme),
+                    normalized_energy=study.normalized_energy(workload, scheme),
+                    normalized_edp=study.normalized_edp(workload, scheme),
+                )
+            )
+    for scheme in schemes:
+        rows.append(
+            Fig8Row(
+                workload="GM",
+                scheme=scheme,
+                normalized_bandwidth=study.geomean("bandwidth", scheme),
+                normalized_energy=study.geomean("energy", scheme),
+                normalized_edp=study.geomean("edp", scheme),
+            )
+        )
+    return rows
+
+
+def format_fig8(rows: list[Fig8Row]) -> str:
+    """Render the Fig. 8 data as a text table."""
+    lines = [
+        "Fig. 8 — bandwidth, energy and EDP of TSLC normalized to E2MC",
+        f"{'benchmark':<9} {'scheme':<10} {'bandwidth':>10} {'energy':>8} {'EDP':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<9} {row.scheme:<10} {row.normalized_bandwidth:>10.3f} "
+            f"{row.normalized_energy:>8.3f} {row.normalized_edp:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+@register_study
+@dataclass
+class Fig8Study(Study):
+    """Fig. 8 — off-chip bandwidth, energy and EDP of TSLC normalized to E2MC.
+
+    Timing-only (no application error), so its grid cells are served from
+    Fig. 7's error-computing twins when both share a store.
+    """
+
+    name = "fig8"
+    title = "Fig. 8 — normalized bandwidth, energy and EDP"
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    lossy_threshold_bytes: int = 16
+    mag_bytes: int | None = None
+    scale: float | None = None
+    seed: int = 2019
+    config_overrides: Overrides = ()
+
+    def spec(self) -> CampaignSpec:
+        return SLCSweepStudy(
+            workloads=tuple(self.workloads),
+            lossy_threshold_bytes=self.lossy_threshold_bytes,
+            mag_bytes=self.mag_bytes,
+            scale=self.scale,
+            seed=self.seed,
+            compute_error=False,
+            config_overrides=tuple(self.config_overrides),
+        ).spec()
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        study = slc_study_from_records(records, list(self.workloads))
+        rows = fig8_rows(study)
+        flat = [
+            {
+                "workload": row.workload,
+                "scheme": row.scheme,
+                "normalized_bandwidth": row.normalized_bandwidth,
+                "normalized_energy": row.normalized_energy,
+                "normalized_edp": row.normalized_edp,
+            }
+            for row in rows
+        ]
+        return self.make_result(flat, data={"rows": rows, "study": study})
+
+    def format(self, result: StudyResult) -> str:
+        return format_fig8(result.data["rows"])
+
+
+# --------------------------------------------------------------------- #
+# Fig. 9
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    """Speedup/error of TSLC-OPT at one MAG for one benchmark."""
+
+    workload: str
+    mag_bytes: int
+    speedup: float
+    error_percent: float
+
+
+def format_fig9(rows: list[Fig9Row]) -> str:
+    """Render the Fig. 9 data as a text table."""
+    lines = [
+        "Fig. 9 — TSLC-OPT speedup and error across MAGs (threshold = MAG/2)",
+        f"{'benchmark':<9} {'MAG (B)':>8} {'speedup':>8} {'error %':>9}",
+    ]
+    for row in rows:
+        error = "-" if row.error_percent != row.error_percent else f"{row.error_percent:.4f}"
+        lines.append(
+            f"{row.workload:<9} {row.mag_bytes:>8} {row.speedup:>8.3f} {error:>9}"
+        )
+    return "\n".join(lines)
+
+
+@register_study
+@dataclass
+class Fig9Study(Study):
+    """Fig. 9 / Section V-C — sensitivity of SLC to the access granularity.
+
+    TSLC-OPT at MAG ∈ {16, 32, 64} B with the lossy threshold tied to MAG/2
+    (the paper's choice) — a coupled grid, expanded as one sub-spec per MAG.
+    """
+
+    name = "fig9"
+    title = "Fig. 9 — TSLC-OPT speedup and error across MAGs"
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    mags: tuple[int, ...] = FIG9_MAGS
+    scale: float | None = None
+    seed: int = 2019
+    config_overrides: Overrides = ()
+
+    def _sub_spec(self, mag: int) -> CampaignSpec:
+        return SLCSweepStudy(
+            workloads=tuple(self.workloads),
+            schemes=(BASELINE_SCHEME, VARIANT_LABELS[SLCVariant.OPT]),
+            lossy_threshold_bytes=mag // 2,
+            mag_bytes=mag,
+            scale=self.scale,
+            seed=self.seed,
+            compute_error=True,
+            config_overrides=tuple(self.config_overrides),
+        ).spec()
+
+    def jobs(self) -> list[Job]:
+        return expand_specs([self._sub_spec(mag) for mag in self.mags])
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        opt_label = VARIANT_LABELS[SLCVariant.OPT]
+        rows: list[Fig9Row] = []
+        studies: dict[int, SLCStudy] = {}
+        for mag in self.mags:
+            per_mag = [r for r in records if r.job.mag_bytes == mag]
+            study = slc_study_from_records(per_mag, list(self.workloads))
+            studies[mag] = study
+            for workload in study.workloads():
+                rows.append(
+                    Fig9Row(
+                        workload=workload,
+                        mag_bytes=mag,
+                        speedup=study.speedup(workload, opt_label),
+                        error_percent=study.error_percent(workload, opt_label),
+                    )
+                )
+            rows.append(
+                Fig9Row(
+                    workload="GM",
+                    mag_bytes=mag,
+                    speedup=study.geomean("speedup", opt_label),
+                    error_percent=float("nan"),
+                )
+            )
+        flat = [
+            {
+                "workload": row.workload,
+                "mag_bytes": row.mag_bytes,
+                "speedup": row.speedup,
+                "error_percent": row.error_percent,
+            }
+            for row in rows
+        ]
+        return self.make_result(flat, data={"rows": rows, "studies": studies})
+
+    def format(self, result: StudyResult) -> str:
+        return format_fig9(result.data["rows"])

@@ -1,0 +1,42 @@
+"""Registry mapping study names to :class:`~repro.studies.base.Study` classes.
+
+Studies register themselves with the :func:`register_study` decorator at
+import time; ``repro study list|run|export`` and programmatic callers resolve
+them by name through :func:`get_study` / :func:`study_class`.
+"""
+
+from __future__ import annotations
+
+from repro.studies.base import Study
+
+_REGISTRY: dict[str, type[Study]] = {}
+
+
+def register_study(cls: type[Study]) -> type[Study]:
+    """Class decorator: add a study class to the registry (name must be new)."""
+    name = cls.name
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"study name {name!r} already registered by {existing!r}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def study_class(name: str) -> type[Study]:
+    """The registered class for a study name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown study {name!r}; available: {', '.join(available_studies())}"
+        ) from None
+
+
+def get_study(name: str, **params) -> Study:
+    """Instantiate a registered study with the given knob overrides."""
+    return study_class(name)(**params)
+
+
+def available_studies() -> list[str]:
+    """Registered study names, in registration order."""
+    return list(_REGISTRY)

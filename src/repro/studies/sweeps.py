@@ -1,0 +1,342 @@
+"""The sweep-shaped studies the campaign engine makes tractable.
+
+Three studies beyond the paper's figures (ROADMAP follow-ups):
+
+* :class:`ResponseSurfaceStudy` — the full MAG × lossy-threshold response
+  surface per TSLC scheme (Fig. 9 samples only the threshold = MAG/2
+  diagonal of this surface);
+* :class:`SeedVarianceStudy` — per-seed variance bands for every Fig. 7/8
+  metric (the paper reports single-seed point estimates);
+* :class:`GPUScalingStudy` — how the TSLC speedup scales with SM count and
+  off-chip bandwidth (coupled grid: one sub-spec per scaling point).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    SCHEME_VARIANTS,
+    CampaignSpec,
+    Job,
+    Overrides,
+    config_to_overrides,
+    expand_specs,
+)
+from repro.campaign.store import JobRecord
+from repro.compression.stats import geometric_mean
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import SimulationResult
+from repro.studies.base import Study, StudyResult
+from repro.studies.registry import register_study
+from repro.studies.slc import SLCStudy, slc_study_from_records
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+
+#: the Fig. 7/8 metrics the variance and surface studies aggregate
+SWEEP_METRICS = ("speedup", "error_percent", "bandwidth", "energy", "edp")
+
+
+def _metric_value(study: SLCStudy, metric: str, workload: str, scheme: str) -> float:
+    if metric == "error_percent":
+        return study.error_percent(workload, scheme)
+    return study.metric(metric, workload, scheme)
+
+
+def _reject_baseline_scheme(schemes: tuple[str, ...]) -> None:
+    """The sweep studies add the baseline implicitly; catch it in the knob
+    at construction time, not as a KeyError after the grid has simulated."""
+    if BASELINE_SCHEME in schemes:
+        raise ValueError(
+            f"schemes lists the TSLC variants only; the {BASELINE_SCHEME} "
+            "baseline is simulated implicitly (every metric is normalized to it)"
+        )
+
+
+# --------------------------------------------------------------------- #
+# MAG × threshold response surface
+
+
+@register_study
+@dataclass
+class ResponseSurfaceStudy(Study):
+    """Full MAG × lossy-threshold response surface per TSLC scheme.
+
+    One grid cell per (workload, scheme, MAG, threshold); the E2MC baseline
+    is threshold-independent, so each MAG contributes exactly one baseline
+    cell per workload (the spec's cross product aliases the rest away).
+    Aggregates to geomean speedup/bandwidth (and error statistics when
+    ``compute_error``) over the workloads at every surface point.
+    """
+
+    name = "response-surface"
+    title = "Response surface — geomean metrics over MAG × lossy threshold"
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    schemes: tuple[str, ...] = tuple(SCHEME_VARIANTS)
+    mags: tuple[int, ...] = (16, 32, 64)
+    thresholds: tuple[int, ...] = (4, 8, 16, 24, 32)
+    scale: float | None = None
+    seed: int = 2019
+    compute_error: bool = True
+
+    def __post_init__(self) -> None:
+        # jobs normalize scheme labels to uppercase; match them here so CLI
+        # overrides like --set schemes=tslc-opt address the right records
+        self.schemes = tuple(s.upper() for s in self.schemes)
+        _reject_baseline_scheme(self.schemes)
+
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec(
+            name="response-surface",
+            workloads=tuple(self.workloads),
+            schemes=(BASELINE_SCHEME, *self.schemes),
+            lossy_thresholds=tuple(self.thresholds),
+            mags=tuple(self.mags),
+            scales=(self.scale,),
+            seeds=(self.seed,),
+            compute_error=self.compute_error,
+        )
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        results: dict[tuple, SimulationResult] = {}
+        baselines: dict[tuple, SimulationResult] = {}
+        for record in records:
+            job = record.job
+            if job.scheme == BASELINE_SCHEME:
+                baselines[(job.workload, job.mag_bytes)] = record.result
+            else:
+                key = (job.scheme, job.mag_bytes, job.lossy_threshold_bytes, job.workload)
+                results[key] = record.result
+
+        surface: dict[tuple, dict] = {}
+        rows: list[dict] = []
+        for scheme in self.schemes:
+            for mag in self.mags:
+                for threshold in self.thresholds:
+                    speedups, bandwidths, errors = [], [], []
+                    for workload in self.workloads:
+                        cell = results[(scheme, mag, threshold, workload.upper())]
+                        baseline = baselines[(workload.upper(), mag)]
+                        speedups.append(cell.speedup_over(baseline))
+                        bandwidths.append(cell.bandwidth_ratio_over(baseline))
+                        errors.append(cell.error_percent)
+                    point = {
+                        "scheme": scheme,
+                        "mag_bytes": mag,
+                        "lossy_threshold_bytes": threshold,
+                        "gm_speedup": geometric_mean(speedups),
+                        "gm_bandwidth": geometric_mean(bandwidths),
+                    }
+                    if self.compute_error:
+                        # A timing-only surface has no error measurement;
+                        # emitting the simulator's 0.0 placeholder would read
+                        # as "zero application error" in an exported CSV.
+                        point["mean_error_percent"] = sum(errors) / len(errors)
+                        point["max_error_percent"] = max(errors)
+                    surface[(scheme, mag, threshold)] = point
+                    rows.append(point)
+        return self.make_result(rows, data=surface)
+
+
+# --------------------------------------------------------------------- #
+# per-seed variance bands
+
+
+@register_study
+@dataclass
+class SeedVarianceStudy(Study):
+    """Per-seed variance bands for the Fig. 7/8 metrics.
+
+    Every (workload, scheme) cell is simulated once per seed — workload data
+    generation is seeded, so this measures how sensitive the paper's point
+    estimates are to the input data draw.  Each seed's metrics are
+    normalized to *that seed's* E2MC baseline; the bands (mean, sample std,
+    min, max) are taken across seeds, including a GM band per scheme.
+    """
+
+    name = "seed-variance"
+    title = "Seed variance — per-seed bands for speedup/error/bandwidth/energy/EDP"
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    schemes: tuple[str, ...] = tuple(SCHEME_VARIANTS)
+    lossy_threshold_bytes: int = 16
+    mag_bytes: int | None = None
+    scale: float | None = None
+    seeds: tuple[int, ...] = (2019, 2020, 2021, 2022, 2023)
+    compute_error: bool = True
+
+    def __post_init__(self) -> None:
+        self.schemes = tuple(s.upper() for s in self.schemes)
+        _reject_baseline_scheme(self.schemes)
+
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec(
+            name="seed-variance",
+            workloads=tuple(self.workloads),
+            schemes=(BASELINE_SCHEME, *self.schemes),
+            lossy_thresholds=(self.lossy_threshold_bytes,),
+            mags=(self.mag_bytes,),
+            scales=(self.scale,),
+            seeds=tuple(self.seeds),
+            compute_error=self.compute_error,
+        )
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        studies: dict[int, SLCStudy] = {}
+        for seed in self.seeds:
+            per_seed = [r for r in records if r.job.seed == seed]
+            studies[seed] = slc_study_from_records(per_seed, list(self.workloads))
+
+        metrics = [
+            m for m in SWEEP_METRICS if self.compute_error or m != "error_percent"
+        ]
+        per_seed_values: dict[tuple, list[float]] = {}
+        rows: list[dict] = []
+        any_study = studies[self.seeds[0]]
+        for workload in any_study.workloads():
+            for scheme in self.schemes:
+                for metric in metrics:
+                    values = [
+                        _metric_value(studies[seed], metric, workload, scheme)
+                        for seed in self.seeds
+                    ]
+                    per_seed_values[(workload, scheme, metric)] = values
+                    rows.append(_band_row(workload, scheme, metric, values))
+        # geometric-mean bands (the headline numbers of Fig. 7/8)
+        for scheme in self.schemes:
+            for metric in ("speedup", "bandwidth", "energy", "edp"):
+                values = [studies[seed].geomean(metric, scheme) for seed in self.seeds]
+                per_seed_values[("GM", scheme, metric)] = values
+                rows.append(_band_row("GM", scheme, metric, values))
+        return self.make_result(
+            rows, data={"per_seed": per_seed_values, "studies": studies}
+        )
+
+
+def _band_row(workload: str, scheme: str, metric: str, values: list[float]) -> dict:
+    mean = sum(values) / len(values)
+    if len(values) > 1:
+        std = math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+    else:
+        std = 0.0
+    return {
+        "workload": workload,
+        "scheme": scheme,
+        "metric": metric,
+        "mean": mean,
+        "std": std,
+        "min": min(values),
+        "max": max(values),
+        "n_seeds": len(values),
+    }
+
+
+# --------------------------------------------------------------------- #
+# GPU-config scaling curves
+
+
+@register_study
+@dataclass
+class GPUScalingStudy(Study):
+    """TSLC speedup vs. GPU configuration (SM count and off-chip bandwidth).
+
+    Two one-dimensional sweeps sharing their default-config point: SM counts
+    at the Table II bandwidth, and bandwidth scalings at the Table II SM
+    count.  Each point is its own ``config_overrides`` (a coupled axis), so
+    the grid is a union of per-point sub-specs; the speedup at every point
+    is normalized to the E2MC baseline *of that configuration*.
+    """
+
+    name = "gpu-scaling"
+    title = "GPU scaling — TSLC speedup across SM counts and bandwidths"
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    scheme: str = "TSLC-OPT"
+    sm_counts: tuple[int, ...] = (8, 16, 32)
+    bandwidth_scales: tuple[float, ...] = (0.5, 1.0, 2.0)
+    lossy_threshold_bytes: int = 16
+    scale: float | None = None
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        self.scheme = self.scheme.upper()
+        _reject_baseline_scheme((self.scheme,))
+
+    def points(self) -> list[tuple[str, float, Overrides]]:
+        """The scaling points as (axis, value, config overrides)."""
+        default = GPUConfig()
+        points: list[tuple[str, float, Overrides]] = []
+        for sms in self.sm_counts:
+            overrides = config_to_overrides(default.scaled(num_sms=sms))
+            points.append(("num_sms", sms, overrides))
+        for factor in self.bandwidth_scales:
+            # Off-chip bandwidth is memory clock x bus width x burst rate, so
+            # a bandwidth scaling is a memory-clock scaling; the GB/s figure
+            # is kept consistent (the energy/DRAM models read the clock).
+            gbps = default.memory_bandwidth_gbps * factor
+            overrides = config_to_overrides(
+                default.scaled(
+                    memory_clock_mhz=default.memory_clock_mhz * factor,
+                    memory_bandwidth_gbps=gbps,
+                )
+            )
+            points.append(("memory_bandwidth_gbps", gbps, overrides))
+        return points
+
+    def _sub_spec(self, overrides: Overrides) -> CampaignSpec:
+        return CampaignSpec(
+            name="gpu-scaling",
+            workloads=tuple(self.workloads),
+            schemes=(BASELINE_SCHEME, self.scheme),
+            lossy_thresholds=(self.lossy_threshold_bytes,),
+            scales=(self.scale,),
+            seeds=(self.seed,),
+            compute_error=False,
+            config_overrides=overrides,
+        )
+
+    def jobs(self) -> list[Job]:
+        # The default-config point appears on both axes; expand_specs dedups
+        # it, so it simulates once and both curves share the cell.
+        return expand_specs([self._sub_spec(o) for _, _, o in self.points()])
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        by_overrides: dict[Overrides, list[JobRecord]] = {}
+        for record in records:
+            by_overrides.setdefault(record.job.config_overrides, []).append(record)
+
+        rows: list[dict] = []
+        studies: dict[tuple[str, float], SLCStudy] = {}
+        for axis, value, overrides in self.points():
+            study = slc_study_from_records(
+                by_overrides.get(overrides, []), list(self.workloads)
+            )
+            studies[(axis, value)] = study
+            for workload in study.workloads():
+                result = study.results[workload][self.scheme]
+                baseline = study.results[workload][study.baseline_label]
+                rows.append(
+                    {
+                        "axis": axis,
+                        "value": value,
+                        "workload": workload,
+                        "speedup": study.speedup(workload, self.scheme),
+                        "exec_time_s": result.exec_time_s,
+                        "baseline_exec_time_s": baseline.exec_time_s,
+                        "memory_bound_fraction": result.memory_bound_fraction,
+                    }
+                )
+            rows.append(
+                {
+                    "axis": axis,
+                    "value": value,
+                    "workload": "GM",
+                    "speedup": study.geomean("speedup", self.scheme),
+                    "exec_time_s": None,
+                    "baseline_exec_time_s": None,
+                    "memory_bound_fraction": None,
+                }
+            )
+        return self.make_result(rows, data={"studies": studies})

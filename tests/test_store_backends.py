@@ -1,0 +1,323 @@
+"""Tests for the ResultStore backends (dispatch, SQLite, compaction, diff)."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Job,
+    JobRecord,
+    JSONLResultStore,
+    ResultStore,
+    SQLiteResultStore,
+    open_store,
+    simulate_job,
+)
+from repro.campaign.cli import main as cli_main
+
+TINY = 1.0 / 1024.0
+
+
+@pytest.fixture(scope="module")
+def sample_record():
+    """One real simulated record, shared by every store test in the module."""
+    job = Job(workload="NN", scheme="E2MC", scale=TINY, compute_error=False)
+    return JobRecord(job=job, status="ok", result=simulate_job(job), elapsed_s=0.25)
+
+
+def _error_record(seed: int = 7) -> JobRecord:
+    job = Job(workload="BS", scheme="TSLC-OPT", scale=TINY, seed=seed)
+    return JobRecord(job=job, status="error", error="boom")
+
+
+# --------------------------------------------------------------------- #
+# backend dispatch
+
+
+def test_dispatch_by_suffix_and_backend(tmp_path):
+    assert isinstance(ResultStore(tmp_path / "a"), JSONLResultStore)
+    assert isinstance(ResultStore(tmp_path / "b.sqlite"), SQLiteResultStore)
+    assert isinstance(ResultStore(tmp_path / "c.db"), SQLiteResultStore)
+    assert isinstance(ResultStore(tmp_path / "d", backend="sqlite"), SQLiteResultStore)
+    assert isinstance(open_store(tmp_path / "e", backend="jsonl"), JSONLResultStore)
+    with pytest.raises(ValueError, match="unknown store backend"):
+        ResultStore(tmp_path / "f", backend="parquet")
+
+
+def test_sqlite_directory_redetected_without_flag(tmp_path):
+    """A dir once opened with backend='sqlite' keeps resolving to SQLite."""
+    store = ResultStore(tmp_path / "camp", backend="sqlite")
+    store.put(_error_record())
+    reopened = ResultStore(tmp_path / "camp")
+    assert isinstance(reopened, SQLiteResultStore)
+    assert len(reopened) == 1
+
+
+def test_backend_names(tmp_path):
+    assert ResultStore(tmp_path / "a").backend_name == "jsonl"
+    assert ResultStore(tmp_path / "b.sqlite").backend_name == "sqlite"
+
+
+# --------------------------------------------------------------------- #
+# SQLite backend semantics
+
+def test_sqlite_roundtrip_and_spec(tmp_path, sample_record):
+    store = ResultStore(tmp_path / "camp.sqlite")
+    assert len(store) == 0
+    store.put(sample_record)
+    assert sample_record.job.content_hash in store
+    fetched = store.get(sample_record.job.content_hash)
+    assert fetched.ok
+    assert fetched.result == sample_record.result
+    assert fetched.job == sample_record.job
+
+    spec = CampaignSpec(workloads=("NN",), schemes=("E2MC",), scales=(TINY,))
+    assert store.load_spec() is None
+    store.save_spec(spec)
+    assert ResultStore(tmp_path / "camp.sqlite").load_spec() == spec
+
+
+def test_sqlite_last_write_wins_and_insertion_order(tmp_path, sample_record):
+    store = ResultStore(tmp_path / "camp.sqlite")
+    first_error = _error_record()
+    store.put(first_error)
+    store.put(sample_record)
+    # overwrite the first record: position is preserved, content replaced
+    retried = JobRecord(job=first_error.job, status="ok", result=sample_record.result)
+    store.put(retried)
+    assert len(store) == 2
+    records = store.records()
+    assert [r.job.content_hash for r in records] == [
+        first_error.job.content_hash,
+        sample_record.job.content_hash,
+    ]
+    assert records[0].ok
+
+
+def test_sqlite_lookup_serves_timing_only_from_error_twin(tmp_path):
+    job = Job(workload="NN", scheme="TSLC-OPT", scale=TINY)
+    store = ResultStore(tmp_path / "camp.sqlite")
+    store.put(JobRecord(job=job, status="ok", result=simulate_job(job)))
+    twin = Job(workload="NN", scheme="TSLC-OPT", scale=TINY, compute_error=False)
+    assert store.lookup(twin) is not None
+
+
+def test_jsonl_sqlite_equivalence(tmp_path, sample_record):
+    """The same records stored in both backends read back identically."""
+    jsonl = ResultStore(tmp_path / "jsonl")
+    sqlite = ResultStore(tmp_path / "camp.sqlite")
+    records = [sample_record, _error_record()]
+    for record in records:
+        jsonl.put(record)
+        sqlite.put(record)
+    assert len(jsonl) == len(sqlite) == 2
+    by_hash_jsonl = {r.job.content_hash: r for r in jsonl.records()}
+    by_hash_sqlite = {r.job.content_hash: r for r in sqlite.records()}
+    assert by_hash_jsonl.keys() == by_hash_sqlite.keys()
+    for job_hash, record in by_hash_jsonl.items():
+        other = by_hash_sqlite[job_hash]
+        assert record.to_dict() == other.to_dict()
+
+
+def _write_records(args) -> int:
+    """Worker: open the shared SQLite store and append N distinct records."""
+    path, writer_id, count = args
+    store = ResultStore(path)
+    for index in range(count):
+        job = Job(
+            workload="NN",
+            scheme="TSLC-OPT",
+            scale=TINY,
+            seed=writer_id * 1000 + index,
+        )
+        store.put(JobRecord(job=job, status="error", error=f"w{writer_id}:{index}"))
+    return count
+
+
+def test_sqlite_concurrent_writers_lose_no_records(tmp_path):
+    """N processes appending simultaneously: every record survives."""
+    path = str(tmp_path / "camp.sqlite")
+    ResultStore(path)  # create the schema before the writers race
+    writers, per_writer = 4, 8
+    with ProcessPoolExecutor(max_workers=writers) as pool:
+        written = list(
+            pool.map(_write_records, [(path, w, per_writer) for w in range(writers)])
+        )
+    assert sum(written) == writers * per_writer
+    store = ResultStore(path)
+    assert len(store) == writers * per_writer
+    seeds = {record.job.seed for record in store.records()}
+    assert seeds == {w * 1000 + i for w in range(writers) for i in range(per_writer)}
+
+
+# --------------------------------------------------------------------- #
+# compaction
+
+
+def test_jsonl_compact_drops_stale_lines(tmp_path, sample_record):
+    store = ResultStore(tmp_path)
+    store.put(_error_record())
+    store.put(sample_record)
+    # re-put the same hash three times: the file grows, the index doesn't
+    for _ in range(3):
+        store.put(sample_record)
+    assert len(store) == 2
+    assert sum(1 for _ in store.results_path.open()) == 5
+
+    kept, dropped = store.compact()
+    assert (kept, dropped) == (2, 3)
+    assert sum(1 for _ in store.results_path.open()) == 2
+
+    reloaded = ResultStore(tmp_path)
+    assert len(reloaded) == 2
+    assert reloaded.get(sample_record.job.content_hash).result == sample_record.result
+
+
+def test_jsonl_compact_is_idempotent_and_preserves_index(tmp_path, sample_record):
+    store = ResultStore(tmp_path)
+    store.put(sample_record)
+    before = {r.job.content_hash: r.to_dict() for r in store.records()}
+    assert store.compact() == (1, 0)
+    assert store.compact() == (1, 0)
+    after = {r.job.content_hash: r.to_dict() for r in ResultStore(tmp_path).records()}
+    assert before == after
+
+
+def test_sqlite_compact_keeps_every_record(tmp_path, sample_record):
+    store = ResultStore(tmp_path / "camp.sqlite")
+    store.put(sample_record)
+    store.put(sample_record)
+    kept, dropped = store.compact()
+    assert (kept, dropped) == (1, 0)
+    assert len(ResultStore(tmp_path / "camp.sqlite")) == 1
+
+
+def test_cli_compact(tmp_path, capsys, sample_record):
+    store = ResultStore(tmp_path)
+    store.put(sample_record)
+    store.put(sample_record)
+    assert cli_main(["campaign", "compact", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "kept 1 records" in out and "dropped 1" in out
+
+
+# --------------------------------------------------------------------- #
+# campaign diff
+
+
+def _populated_store(path, records) -> ResultStore:
+    store = ResultStore(path)
+    for record in records:
+        store.put(record)
+    return store
+
+
+def test_cli_diff_and_compact_refuse_missing_stores(tmp_path, capsys, sample_record):
+    """A typo'd path must not become an empty store and a vacuous verdict."""
+    _populated_store(tmp_path / "real", [sample_record])
+    missing = tmp_path / "no-such-store"
+    code = cli_main(["campaign", "diff", str(tmp_path / "real"), str(missing)])
+    assert code == 2
+    assert "result store at" in capsys.readouterr().err
+    assert not missing.exists()  # nothing was created as a side effect
+    assert cli_main(["campaign", "compact", "--dir", str(missing)]) == 2
+    assert "result store at" in capsys.readouterr().err
+    assert not missing.exists()
+
+
+def test_cli_diff_refuses_backend_mismatch(tmp_path, capsys, sample_record):
+    """Forcing --store-backend sqlite on JSONL-only dirs must error, not
+    open fresh empty SQLite stores and report a vacuous 'no drift'."""
+    _populated_store(tmp_path / "a", [sample_record])
+    _populated_store(tmp_path / "b", [_error_record()])
+    code = cli_main([
+        "campaign", "diff", str(tmp_path / "a"), str(tmp_path / "b"),
+        "--store-backend", "sqlite",
+    ])
+    assert code == 2
+    assert "no sqlite result store" in capsys.readouterr().err
+    assert not (tmp_path / "a" / "results.sqlite").exists()
+    assert not (tmp_path / "b" / "results.sqlite").exists()
+    assert cli_main([
+        "campaign", "compact", "--dir", str(tmp_path / "a"),
+        "--store-backend", "sqlite",
+    ]) == 2
+    assert not (tmp_path / "a" / "results.sqlite").exists()
+
+
+def test_cli_diff_identical_stores_exit_zero(tmp_path, capsys, sample_record):
+    _populated_store(tmp_path / "a", [sample_record])
+    _populated_store(tmp_path / "b.sqlite", [sample_record])  # cross-backend diff
+    code = cli_main(
+        ["campaign", "diff", str(tmp_path / "a"), str(tmp_path / "b.sqlite")]
+    )
+    assert code == 0
+    assert "1 common cells — 0 changed, 0 only in A, 0 only in B" in capsys.readouterr().out
+
+
+def test_cli_diff_detects_missing_and_changed(tmp_path, capsys, sample_record):
+    changed = JobRecord(
+        job=sample_record.job,
+        status="ok",
+        result=sample_record.result.__class__.from_dict(
+            {**sample_record.result.to_dict(), "total_bursts": 123456}
+        ),
+    )
+    extra = _error_record()
+    _populated_store(tmp_path / "a", [sample_record, extra])
+    _populated_store(tmp_path / "b", [changed])
+    code = cli_main(["campaign", "diff", str(tmp_path / "a"), str(tmp_path / "b")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "only in" in out
+    assert "changed" in out and "total_bursts" in out
+
+
+def test_cli_status_and_export_work_on_sqlite(tmp_path, capsys):
+    campaign_dir = str(tmp_path / "camp")
+    assert cli_main([
+        "campaign", "run", "--dir", campaign_dir, "--store-backend", "sqlite",
+        "--workloads", "NN", "--schemes", "E2MC",
+        "--scale", str(TINY), "--no-error", "--quiet",
+    ]) == 0
+    assert (tmp_path / "camp" / "results.sqlite").exists()
+    assert not (tmp_path / "camp" / "results.jsonl").exists()
+    capsys.readouterr()
+    # second run: served from the SQLite store without the flag (re-detected)
+    assert cli_main([
+        "campaign", "run", "--dir", campaign_dir,
+        "--workloads", "NN", "--schemes", "E2MC",
+        "--scale", str(TINY), "--no-error", "--quiet",
+    ]) == 0
+    assert "1 cached, 0 executed" in capsys.readouterr().out
+    assert cli_main(["campaign", "status", "--dir", campaign_dir]) == 0
+    assert "1 complete, 0 failed, 0 missing" in capsys.readouterr().out
+    csv_path = tmp_path / "export.csv"
+    assert cli_main(
+        ["campaign", "export", "--dir", campaign_dir, "--csv", str(csv_path)]
+    ) == 0
+    lines = csv_path.read_text().strip().splitlines()
+    assert len(lines) == 2 and lines[1].startswith("NN,E2MC,")
+
+
+def test_progress_reporter_reports_cache_hits_and_wall_time():
+    import io
+
+    from repro.campaign.cli import ProgressReporter
+
+    clock_values = iter([0.0, 10.0, 20.0, 30.0])
+    stream = io.StringIO()
+    reporter = ProgressReporter(workers=1, stream=stream, clock=lambda: next(clock_values))
+    job = Job(workload="NN", scheme="E2MC", compute_error=False)
+    reporter(JobRecord(job=job, status="ok", cached=True), 1, 3)
+    reporter(JobRecord(job=job, status="ok", elapsed_s=4.0), 2, 3)
+    lines = stream.getvalue().splitlines()
+    assert "1 cached" in lines[0] and "10s elapsed" in lines[0]
+    assert "ETA" not in lines[0]
+    assert "avg 4.00s/job" in lines[1] and "ETA 4s" in lines[1]
+    assert "1 cached" in lines[1] and "20s elapsed" in lines[1]
+    assert reporter.n_cached == 1
