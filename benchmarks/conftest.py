@@ -45,6 +45,14 @@ def pytest_addoption(parser):
         help="payload-codec microbenchmark smoke mode: fewer workloads, "
         "relaxed speedup floors (used by CI)",
     )
+    parser.addoption(
+        "--bench-record",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="merge measured GM speedups / job times into a recorded-metrics "
+        "JSON consumable by 'repro bench check/snapshot --from'",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -69,6 +77,35 @@ def replay_quick(request) -> bool:
 def codec_quick(request) -> bool:
     """Whether the payload-codec microbenchmark runs in CI smoke mode."""
     return bool(request.config.getoption("--codec-quick"))
+
+
+@pytest.fixture(scope="session")
+def bench_record(request):
+    """Callable recording one measured metric for the perf-trajectory gate.
+
+    A no-op unless ``--bench-record PATH`` was given.  Quick-mode callers
+    suffix their metric names ``_quick`` themselves — quick and full
+    measurements are not comparable, so they must never gate each other.
+    """
+    path = request.config.getoption("--bench-record")
+
+    def _record(
+        name: str,
+        value: float,
+        unit: str = "x",
+        higher_is_better: bool = True,
+        gate: bool = True,
+    ) -> None:
+        if path is None:
+            return
+        from repro.obs import trajectory
+
+        trajectory.record(
+            path, name, value, unit=unit,
+            higher_is_better=higher_is_better, gate=gate,
+        )
+
+    return _record
 
 
 @pytest.fixture(scope="session")

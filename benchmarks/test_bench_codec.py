@@ -58,7 +58,8 @@ def _time(fn, repeats: int = 2) -> float:
     return best
 
 
-def test_bench_codec_roundtrip_speedup(benchmark, slc_scale, codec_quick):
+def test_bench_codec_roundtrip_speedup(benchmark, slc_scale, codec_quick,
+                                       bench_record):
     """compress_batch + decompress_batch vs. the per-block scalar codec."""
     names = QUICK_WORKLOADS if codec_quick else PAPER_WORKLOAD_ORDER
     floor = QUICK_CODEC_FLOOR if codec_quick else FULL_CODEC_FLOOR
@@ -93,6 +94,7 @@ def test_bench_codec_roundtrip_speedup(benchmark, slc_scale, codec_quick):
     for row in rows:
         print(row)
     print(f"{'GM':<8} {'':>12}  speedup {gm:6.1f}x  (floor {floor:.0f}x)")
+    bench_record(f"codec_gm_speedup{'_quick' if codec_quick else ''}", gm)
 
     # time the batch codec once more under pytest-benchmark for the report
     blocks = _workload_blocks(names[0], slc_scale)
@@ -107,7 +109,7 @@ def test_bench_codec_roundtrip_speedup(benchmark, slc_scale, codec_quick):
     assert gm >= floor, f"batched codec only {gm:.1f}x over scalar (floor {floor}x)"
 
 
-def test_bench_codec_end_to_end_job(slc_scale, codec_quick):
+def test_bench_codec_end_to_end_job(slc_scale, codec_quick, bench_record):
     """The batched apply_decision path must speed up a full TSLC-OPT job.
 
     The payload codec runs in every store (host-to-device copies and write
@@ -128,6 +130,10 @@ def test_bench_codec_end_to_end_job(slc_scale, codec_quick):
     print(
         f"\nend-to-end NN/TSLC-OPT job: scalar codec {scalar_s * 1e3:.1f} ms, "
         f"batch codec {batch_s * 1e3:.1f} ms ({speedup:.2f}x, floor {floor:.1f}x)"
+    )
+    # Absolute seconds are machine-dependent: trajectory context, not a gate.
+    bench_record(
+        "job_nn_tslc_opt_s", batch_s, unit="s", higher_is_better=False, gate=False,
     )
     assert speedup >= floor, (
         f"batched codec job only {speedup:.2f}x over the scalar payload path "

@@ -48,7 +48,8 @@ def _time(fn, repeats: int = 3) -> float:
     return best
 
 
-def test_bench_kernels_analyze_speedup(benchmark, slc_scale, kernels_quick):
+def test_bench_kernels_analyze_speedup(benchmark, slc_scale, kernels_quick,
+                                       bench_record):
     """analyze_batch vs. per-block analyze over a paper-workload sweep slice."""
     names = QUICK_WORKLOADS if kernels_quick else PAPER_WORKLOAD_ORDER
     floor = QUICK_SPEEDUP_FLOOR if kernels_quick else FULL_SPEEDUP_FLOOR
@@ -75,6 +76,7 @@ def test_bench_kernels_analyze_speedup(benchmark, slc_scale, kernels_quick):
     for row in rows:
         print(row)
     print(f"{'GM':<8} {'':>14}  speedup {gm:6.1f}x  (floor {floor:.0f}x)")
+    bench_record(f"kernels_gm_speedup{'_quick' if kernels_quick else ''}", gm)
 
     # time the batch kernel once more under pytest-benchmark for the report
     blocks = _workload_blocks(names[0], slc_scale)

@@ -123,7 +123,7 @@ def _time(fn, repeats: int = 2) -> float:
     return best
 
 
-def test_bench_replay_phase_speedup(benchmark, replay_quick):
+def test_bench_replay_phase_speedup(benchmark, replay_quick, bench_record):
     """Vectorized vs. scalar replay phase over a paper-workload sweep slice."""
     names = QUICK_WORKLOADS if replay_quick else PAPER_WORKLOAD_ORDER
     scale = QUICK_SCALE if replay_quick else FULL_SCALE
@@ -148,6 +148,7 @@ def test_bench_replay_phase_speedup(benchmark, replay_quick):
     for row in rows:
         print(row)
     print(f"{'GM':<8} {'':>17}  speedup {gm:6.1f}x  (floor {floor:.0f}x)")
+    bench_record(f"replay_gm_speedup{'_quick' if replay_quick else ''}", gm)
 
     # time the vectorized engine once more under pytest-benchmark
     context = _ReplayContext(names[0], scale)
@@ -158,7 +159,7 @@ def test_bench_replay_phase_speedup(benchmark, replay_quick):
     assert gm >= floor, f"vectorized replay only {gm:.1f}x over scalar (floor {floor}x)"
 
 
-def test_bench_replay_end_to_end_job(replay_quick):
+def test_bench_replay_end_to_end_job(replay_quick, bench_record):
     """A memory-heavy campaign job must get markedly faster end to end."""
     scale = QUICK_SCALE if replay_quick else FULL_SCALE
     job = Job(
@@ -174,6 +175,13 @@ def test_bench_replay_end_to_end_job(replay_quick):
     print(
         f"\nend-to-end TP/E2MC job: scalar {scalar_s * 1e3:.1f} ms, "
         f"vectorized {vector_s * 1e3:.1f} ms ({speedup:.2f}x)"
+    )
+    # Absolute seconds are machine-dependent: trajectory context, not a gate.
+    # Quick mode runs at the same scale obs.bench measures, so the name
+    # matches; the full-mode trace-heavy scale gets its own name.
+    bench_record(
+        "job_tp_e2mc_s" if replay_quick else "job_tp_e2mc_full_s",
+        vector_s, unit="s", higher_is_better=False, gate=False,
     )
     if replay_quick:
         # Smoke mode: traces are tiny, so just guard against regression.

@@ -8,7 +8,15 @@ Subcommands::
     repro campaign diff     compare two stores cell-by-cell (drift check)
     repro campaign compact  drop stale JSONL lines / vacuum a SQLite store
     repro study ...         run/list/export declarative studies
+    repro bench ...         perf-trajectory snapshots and the regression gate
     repro version           print the package version
+
+The top-level ``--log-level``/``-q`` flags control the progress and
+diagnostic lines (always stderr, via the ``repro`` logger hierarchy);
+stdout stays reserved for command output.  ``campaign run``/``study run``
+accept ``--trace out.json`` (Chrome trace-event timeline across the main
+process and every worker) and ``campaign run`` ``--metrics`` (per-job
+counter/value snapshots, aggregated by ``campaign status --metrics``).
 
 A campaign directory is self-describing: ``campaign.json`` holds the spec,
 ``results.jsonl`` (or ``results.sqlite`` with ``--store-backend sqlite``)
@@ -29,8 +37,16 @@ from repro._version import __version__
 from repro.campaign.executor import run_campaign
 from repro.campaign.spec import KNOWN_SCHEMES, CampaignSpec
 from repro.campaign.store import STORE_BACKENDS, JobRecord, ResultStore, open_store
+from repro.obs import metrics, tracing
+from repro.obs.cli import add_bench_parser, enable_observability, finish_trace
+from repro.obs.log import LOG_LEVELS, get_logger, setup_logging
 from repro.studies.cli import add_study_parser
 from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+
+_log = get_logger("campaign")
+
+#: default sink of per-job progress lines (stderr via the repro logger)
+_progress_log = get_logger("campaign.progress")
 
 #: flat CSV columns: job axes then headline result metrics
 EXPORT_COLUMNS = (
@@ -150,8 +166,13 @@ class ProgressReporter:
             parts.append(f"{self.n_cached} cached")
         parts.append(f"{_format_duration(self.wall_time_s)} elapsed")
         suffix = f" ({', '.join(parts)})"
-        stream = self._stream if self._stream is not None else sys.stderr
-        print(f"[{done}/{total}] {record.job.label()}: {detail}{suffix}", file=stream)
+        line = f"[{done}/{total}] {record.job.label()}: {detail}{suffix}"
+        if self._stream is not None:
+            print(line, file=self._stream)
+        else:
+            # Default path: the repro logger (stderr), so --log-level/-q
+            # controls progress verbosity like every other line.
+            _progress_log.info(line)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -161,12 +182,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         store = ResultStore(args.dir, args.store_backend)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
-        print(f"error: {message}", file=sys.stderr)
+        _log.error("error: %s", message)
         return 2
     store.save_spec(spec)
+    enable_observability(args)
     start = time.monotonic()
     progress = None if args.quiet else ProgressReporter(workers=args.workers)
-    outcome = run_campaign(spec, store=store, workers=args.workers, progress=progress)
+    with tracing.span("campaign.run", cat="campaign", campaign=spec.name):
+        outcome = run_campaign(
+            spec, store=store, workers=args.workers, progress=progress
+        )
     wall = _format_duration(time.monotonic() - start)
     print(
         f"campaign '{spec.name}': {outcome.n_total} jobs — "
@@ -176,6 +201,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     for record in outcome.failures():
         tail = (record.error or "").strip().splitlines()[-1:]
         print(f"  FAILED {record.job.label()}: {tail[0] if tail else '?'}")
+    if args.metrics:
+        merged = metrics.merge(
+            metrics.snapshot(),
+            *(r.metrics for r in outcome.records.values() if r.metrics),
+        )
+        print("campaign metrics:")
+        print(metrics.format_metrics(merged))
+    finish_trace(args)
     return 1 if outcome.n_failed else 0
 
 
@@ -203,6 +236,13 @@ def cmd_status(args: argparse.Namespace) -> int:
         f"campaign '{spec.name}': {len(jobs)} jobs — "
         f"{ok} complete, {failed} failed, {missing} missing"
     )
+    if args.metrics:
+        snapshots = [r.metrics for r in store.records() if r.metrics]
+        if snapshots:
+            print(f"stored metrics ({len(snapshots)} records):")
+            print(metrics.format_metrics(metrics.merge(*snapshots)))
+        else:
+            print("stored metrics: none (run with --metrics to collect)")
     return 0 if (failed == 0 and missing == 0) else 1
 
 
@@ -308,7 +348,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         store_a = open_store(args.store_a, args.store_backend, must_exist=True)
         store_b = open_store(args.store_b, args.store_backend, must_exist=True)
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     records_a = {r.job.content_hash: r for r in store_a.records()}
     records_b = {r.job.content_hash: r for r in store_b.records()}
@@ -340,7 +380,7 @@ def cmd_compact(args: argparse.Namespace) -> int:
     try:
         store = open_store(args.dir, args.store_backend, must_exist=True)
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     kept, dropped = store.compact()
     print(
@@ -361,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SLC reproduction toolkit (Lal/Lucas/Juurlink, DATE'19)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=tuple(LOG_LEVELS),
+        default="info",
+        help="logging verbosity for progress/diagnostic lines (default: info)",
+    )
+    parser.add_argument(
+        "-q",
+        dest="log_quiet",
+        action="store_true",
+        help="shorthand for --log-level warning (mute progress lines)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -404,6 +456,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip re-running kernels on degraded inputs (timing-only sweep)",
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-job progress")
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="collect per-phase spans and write a Chrome trace-event file",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/histograms per job and print the aggregate",
+    )
     _add_store_backend(run)
     run.set_defaults(func=cmd_run)
 
@@ -411,6 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="compare the saved spec against results on disk"
     )
     status.add_argument("--dir", required=True, help="campaign directory")
+    status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also aggregate and print the stored records' metric snapshots",
+    )
     _add_store_backend(status)
     status.set_defaults(func=cmd_status)
 
@@ -436,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     compact.set_defaults(func=cmd_compact)
 
     add_study_parser(sub)
+    add_bench_parser(sub)
 
     return parser
 
@@ -452,6 +521,7 @@ def _add_store_backend(parser: argparse.ArgumentParser) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (console script ``repro`` / ``python -m repro``)."""
     args = build_parser().parse_args(argv)
+    setup_logging("warning" if args.log_quiet else args.log_level)
     return args.func(args)
 
 

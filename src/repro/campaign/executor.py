@@ -16,9 +16,11 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
+import repro.obs as obs
 from repro.campaign.spec import CampaignSpec, Job
 from repro.campaign.store import JobRecord, ResultStore
 from repro.campaign.worker import execute_job
+from repro.obs import metrics, tracing
 
 #: progress callback: (record, jobs done so far, total jobs)
 ProgressFn = Callable[[JobRecord, int, int], None]
@@ -112,20 +114,26 @@ def run_jobs(
     pending: list[Job] = []
     done = 0
 
-    for job in outcome.jobs:
-        stored = store.lookup(job) if store is not None else None
-        if stored is not None:
-            record = replace(stored, job=job, cached=True)
-            outcome.records[job.content_hash] = record
-            done += 1
-            if progress is not None:
-                progress(record, done, outcome.n_total)
-        else:
-            pending.append(job)
+    with tracing.span("campaign.lookup", cat="campaign", jobs=len(outcome.jobs)):
+        for job in outcome.jobs:
+            stored = store.lookup(job) if store is not None else None
+            if stored is not None:
+                record = replace(stored, job=job, cached=True)
+                outcome.records[job.content_hash] = record
+                done += 1
+                if progress is not None:
+                    progress(record, done, outcome.n_total)
+            else:
+                pending.append(job)
 
     def collect(record_dict: dict) -> None:
         nonlocal done
         record = JobRecord.from_dict(record_dict)
+        # Worker-side observability rides back on the record: merge spans
+        # into this process's tracer (one coherent Chrome trace) and keep
+        # the metrics snapshot on the record for store-level aggregation.
+        if record.spans and tracing.enabled():
+            tracing.extend(record.spans)
         if store is not None:
             store.put(record)
         outcome.records[record.job.content_hash] = record
@@ -133,17 +141,31 @@ def run_jobs(
         if progress is not None:
             progress(record, done, outcome.n_total)
 
-    if workers > 1 and len(pending) > 1:
-        # Collect in completion order so every finished job is persisted and
-        # reported immediately — an interrupted sweep keeps everything that
-        # finished, even while a slow early job is still running.
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures = [pool.submit(execute_job, job.to_dict()) for job in pending]
-            for future in as_completed(futures):
-                collect(future.result())
-    else:
-        for job in pending:
-            collect(execute_job(job.to_dict()))
+    with tracing.span("campaign.execute", cat="campaign", pending=len(pending),
+                      workers=workers):
+        if workers > 1 and len(pending) > 1:
+            # Collect in completion order so every finished job is persisted
+            # and reported immediately — an interrupted sweep keeps
+            # everything that finished, even while a slow early job is still
+            # running.  The initializer carries the observability switches
+            # into the workers (robust under both fork and spawn).
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=obs.worker_init,
+                initargs=(obs.state(),),
+            ) as pool:
+                futures = [pool.submit(execute_job, job.to_dict()) for job in pending]
+                for future in as_completed(futures):
+                    collect(future.result())
+        else:
+            for job in pending:
+                collect(execute_job(job.to_dict()))
+
+    if metrics.enabled():
+        metrics.inc("campaign.jobs", outcome.n_total)
+        metrics.inc("campaign.cache_hits", outcome.n_cached)
+        metrics.inc("campaign.executed", outcome.n_executed)
+        metrics.inc("campaign.failed", outcome.n_failed)
     return outcome
 
 

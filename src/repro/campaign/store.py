@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.campaign.spec import CampaignSpec, Job
@@ -54,6 +54,16 @@ class JobRecord:
     #: True when this record was served from the store instead of simulated
     #: in the current invocation (never persisted).
     cached: bool = False
+    #: where/when the job ran: hostname, pid, ISO-8601 ``started_at``.
+    #: Forensics for ``campaign diff`` between hosts and groundwork for the
+    #: distributed executor; empty for records from pre-provenance stores.
+    provenance: dict = field(default_factory=dict)
+    #: per-job :mod:`repro.obs.metrics` snapshot (collected only when the
+    #: campaign ran with metrics enabled; empty otherwise)
+    metrics: dict = field(default_factory=dict)
+    #: per-job :mod:`repro.obs.tracing` span dicts (collected only when the
+    #: campaign ran with tracing enabled; empty otherwise)
+    spans: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -61,8 +71,12 @@ class JobRecord:
         return self.status == "ok"
 
     def to_dict(self) -> dict:
-        """The record as a JSON-serializable dict (one JSONL line)."""
-        return {
+        """The record as a JSON-serializable dict (one JSONL line).
+
+        The observability fields are emitted only when present, so stores
+        written with instrumentation off are byte-identical to pre-obs ones.
+        """
+        data = {
             "job_hash": self.job.content_hash,
             "job": self.job.to_dict(),
             "status": self.status,
@@ -70,10 +84,21 @@ class JobRecord:
             "error": self.error,
             "elapsed_s": self.elapsed_s,
         }
+        if self.provenance:
+            data["provenance"] = dict(self.provenance)
+        if self.metrics:
+            data["metrics"] = self.metrics
+        if self.spans:
+            data["spans"] = self.spans
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobRecord":
-        """Reconstruct a record produced by :meth:`to_dict`."""
+        """Reconstruct a record produced by :meth:`to_dict`.
+
+        Records from older stores carry no provenance/metrics/spans keys;
+        they default to empty.
+        """
         result = data.get("result")
         return cls(
             job=Job.from_dict(data["job"]),
@@ -81,6 +106,9 @@ class JobRecord:
             result=None if result is None else SimulationResult.from_dict(result),
             error=data.get("error"),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            provenance=dict(data.get("provenance") or {}),
+            metrics=dict(data.get("metrics") or {}),
+            spans=list(data.get("spans") or []),
         )
 
 

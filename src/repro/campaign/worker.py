@@ -9,10 +9,14 @@ around).
 
 from __future__ import annotations
 
+import os
+import socket
 import time
 import traceback
+from datetime import datetime, timezone
 
 from repro.campaign.spec import BASELINE_SCHEME, SCHEME_VARIANTS, Job, overrides_to_config
+from repro.obs import metrics, tracing
 from repro.compression.e2mc import E2MCCompressor
 from repro.core.config import SLCConfig
 from repro.core.slc import SLCCompressor
@@ -124,19 +128,50 @@ def execute_job(job_dict: dict) -> dict:
     boundary is cheap to pickle and identical to what the store persists.
     Failures are captured as an ``"error"`` record with the traceback, so
     one bad job never kills a sweep.
+
+    Every record carries provenance (hostname, pid, ISO-8601 start time).
+    When observability is enabled (see :mod:`repro.obs`), the job runs
+    under a root span and the payload additionally carries the spans and
+    the per-job metrics snapshot, which the executor merges back into the
+    parent process.
     """
     job = Job.from_dict(job_dict)
+    provenance = {
+        "hostname": socket.gethostname(),
+        "pid": os.getpid(),
+        "started_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    metrics_on = metrics.enabled()
+    if metrics_on:
+        # Pool workers are long-lived: isolate this job's snapshot from the
+        # previous job's (and, in-process, from campaign-level counters).
+        metrics.clear()
+    tracking_memory = metrics.start_tracemalloc()
+    span_mark = tracing.mark()
     start = time.perf_counter()
     try:
-        result = simulate_job(job)
+        with tracing.span(f"job:{job.label()}", cat="job",
+                          workload=job.workload, scheme=job.scheme):
+            result = simulate_job(job)
         status, result_dict, error = "ok", result.to_dict(), None
     except Exception:
         status, result_dict, error = "error", None, traceback.format_exc()
-    return {
+    elapsed = time.perf_counter() - start
+    if tracking_memory:
+        metrics.stop_tracemalloc()
+    payload = {
         "job_hash": job.content_hash,
         "job": job.to_dict(),
         "status": status,
         "result": result_dict,
         "error": error,
-        "elapsed_s": time.perf_counter() - start,
+        "elapsed_s": elapsed,
+        "provenance": provenance,
     }
+    if metrics_on:
+        metrics.observe("job.elapsed_s", elapsed)
+        payload["metrics"] = metrics.snapshot()
+        metrics.clear()
+    if tracing.enabled():
+        payload["spans"] = tracing.drain(span_mark)
+    return payload

@@ -14,6 +14,7 @@ for three families:
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -23,6 +24,7 @@ from repro.compression.base import BlockCompressor
 from repro.compression.stats import bursts_for_size
 from repro.core.config import SLCMode
 from repro.core.slc import SLCCompressor
+from repro.obs import metrics
 
 
 @dataclass(frozen=True)
@@ -141,6 +143,9 @@ class LosslessBackend(CompressionBackend):
     def _stored(self, block: bytes, size_bits: int) -> StoredBlock:
         stored_bytes = min((size_bits + 7) // 8, self.block_size_bytes)
         bursts = min(self.max_bursts, bursts_for_size(stored_bytes, self.mag_bytes))
+        if metrics.enabled():
+            metrics.inc("backend.blocks_compressed")
+            metrics.inc("codec.stored_bits", size_bits)
         return StoredBlock(
             bursts=bursts,
             stored_bits=size_bits,
@@ -216,6 +221,7 @@ class SLCBackend(CompressionBackend):
                 self._record(block, decision)
                 for block, decision in zip(view, decisions)
             ]
+        codec_start = time.perf_counter() if metrics.enabled() else 0.0
         decisions = self.slc.analyze_batch_arrays(view, approximable=approximable)
         data = self.slc.apply_decision_batch(view, decisions)
         lossy = decisions.lossy_mask
@@ -223,6 +229,13 @@ class SLCBackend(CompressionBackend):
         self.lossy_blocks += int(lossy.sum())
         overshoot = decisions.bits_removed[lossy] - decisions.extra_bits[lossy]
         self.total_overshoot_bits += int(np.maximum(0, overshoot).sum())
+        if metrics.enabled():
+            # codec bits/s is derivable from the two counters (mean over
+            # merged snapshots stays exact: total bits / total seconds)
+            metrics.inc("codec.encode_s", time.perf_counter() - codec_start)
+            metrics.inc("codec.stored_bits", int(decisions.stored_size_bits.sum()))
+            metrics.inc("backend.blocks_compressed", len(decisions))
+            metrics.inc("backend.lossy_blocks", int(lossy.sum()))
         return [
             StoredBlock(
                 bursts=bursts,
@@ -241,6 +254,10 @@ class SLCBackend(CompressionBackend):
     def _record(self, block: bytes, decision) -> StoredBlock:
         data = self.slc.apply_decision(block, decision)
         self.total_blocks += 1
+        if metrics.enabled():
+            metrics.inc("backend.blocks_compressed")
+            if decision.is_lossy:
+                metrics.inc("backend.lossy_blocks")
         if decision.mode is SLCMode.LOSSY:
             self.lossy_blocks += 1
             self.total_overshoot_bits += decision.overshoot_bits

@@ -21,6 +21,8 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.energy import EnergyBreakdown, EnergyModel
 from repro.gpu.memory_controller import MemoryController
 from repro.gpu.sm import SMCluster
+from repro.obs import metrics
+from repro.obs.tracing import span
 from repro.replay.engine import replay_trace
 from repro.replay.reference import replay_trace_scalar
 from repro.utils.blocks import array_to_blocks, blocks_to_array
@@ -232,18 +234,20 @@ class GPUSimulator:
         """Simulate ``workload`` with ``backend`` and return the result."""
         block_size = self.config.block_size_bytes
 
-        input_regions = workload.generate()
-        exact_outputs = workload.run(workload.input_arrays(input_regions))
-        all_regions: dict[str, Region] = dict(input_regions)
-        all_regions.update(workload.output_regions(exact_outputs))
+        with span("sim.generate", cat="sim", workload=workload.name):
+            input_regions = workload.generate()
+            exact_outputs = workload.run(workload.input_arrays(input_regions))
+            all_regions: dict[str, Region] = dict(input_regions)
+            all_regions.update(workload.output_regions(exact_outputs))
 
-        region_blocks = {
-            name: array_to_blocks(region.array, block_size)
-            for name, region in all_regions.items()
-        }
-        base_addresses = self._layout(all_regions, region_blocks)
+            region_blocks = {
+                name: array_to_blocks(region.array, block_size)
+                for name, region in all_regions.items()
+            }
+            base_addresses = self._layout(all_regions, region_blocks)
 
-        self._train_backend(backend, input_regions, region_blocks)
+        with span("sim.train", cat="sim", workload=workload.name):
+            self._train_backend(backend, input_regions, region_blocks)
 
         controllers = [
             MemoryController(
@@ -265,48 +269,54 @@ class GPUSimulator:
         # With batch_store the backend analyzes each region's blocks in one
         # vectorized call; the per-block loop only dispatches the results to
         # the interleaved controllers.
-        for name, region in input_regions.items():
-            base = base_addresses[name]
-            if self.batch_store:
-                stored_blocks = backend.store_batch(
-                    region_blocks[name], approximable=region.approximable
-                )
-                for index, stored in enumerate(stored_blocks):
-                    self._controller(controllers, base + index).record_stored(
-                        base + index, stored, count_traffic=False
+        with span("sim.h2d_store", cat="sim", workload=workload.name,
+                  batch=self.batch_store):
+            for name, region in input_regions.items():
+                base = base_addresses[name]
+                if self.batch_store:
+                    stored_blocks = backend.store_batch(
+                        region_blocks[name], approximable=region.approximable
                     )
-            else:
-                for index, block in enumerate(region_blocks[name]):
-                    self._controller(controllers, base + index).store_block(
-                        base + index,
-                        block,
-                        approximable=region.approximable,
-                        count_traffic=False,
-                    )
+                    for index, stored in enumerate(stored_blocks):
+                        self._controller(controllers, base + index).record_stored(
+                            base + index, stored, count_traffic=False
+                        )
+                else:
+                    for index, block in enumerate(region_blocks[name]):
+                        self._controller(controllers, base + index).store_block(
+                            base + index,
+                            block,
+                            approximable=region.approximable,
+                            count_traffic=False,
+                        )
 
         # Kernel execution: replay the workload's block trace through the L2.
         # The vectorized engine (repro.replay) and the scalar per-access loop
         # produce bit-identical counters; the engine is the default because
         # trace replay dominates sweep time.
-        trace = workload.trace(all_regions, block_size_bytes=block_size)
+        with span("sim.trace_build", cat="sim", workload=workload.name):
+            trace = workload.trace(all_regions, block_size_bytes=block_size)
         replay = replay_trace if self.replay_mode == "vectorized" else replay_trace_scalar
-        replay(
-            trace,
-            all_regions=all_regions,
-            region_blocks=region_blocks,
-            base_addresses=base_addresses,
-            l2=l2,
-            controllers=controllers,
-            interleave_blocks=self.CHANNEL_INTERLEAVE_BLOCKS,
-        )
+        with span("sim.replay", cat="sim", workload=workload.name,
+                  mode=self.replay_mode, accesses=len(trace)):
+            replay(
+                trace,
+                all_regions=all_regions,
+                region_blocks=region_blocks,
+                base_addresses=base_addresses,
+                l2=l2,
+                controllers=controllers,
+                interleave_blocks=self.CHANNEL_INTERLEAVE_BLOCKS,
+            )
 
         error_percent = 0.0
         if compute_error:
-            degraded = self._degraded_inputs(
-                workload, input_regions, region_blocks, base_addresses, controllers
-            )
-            approx_outputs = workload.run(degraded)
-            error_percent = workload.error(exact_outputs, approx_outputs)
+            with span("sim.error", cat="sim", workload=workload.name):
+                degraded = self._degraded_inputs(
+                    workload, input_regions, region_blocks, base_addresses, controllers
+                )
+                approx_outputs = workload.run(degraded)
+                error_percent = workload.error(exact_outputs, approx_outputs)
 
         return self._assemble_result(
             workload, backend, all_regions, controllers, l2, error_percent
@@ -443,6 +453,15 @@ class GPUSimulator:
         }
         if self.payload_digest:
             extra_metrics["payload_sha256"] = self._payload_digest(controllers)
+
+        if metrics.enabled():
+            metrics.inc("sim.runs")
+            metrics.inc("sim.stored_blocks", stored_blocks)
+            metrics.inc("sim.lossy_blocks", lossy_blocks)
+            metrics.inc("sim.total_bursts", total_bursts)
+            metrics.inc("sim.dram_bytes", dram_bytes)
+            metrics.observe("sim.l2_hit_rate", l2.stats.hit_rate)
+            metrics.observe("sim.mdc_hit_rate", mdc_hit_rate)
 
         return SimulationResult(
             workload=workload.name,

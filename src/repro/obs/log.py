@@ -1,0 +1,80 @@
+"""One logging setup for the whole ``repro`` CLI.
+
+Campaign/study progress, error lines and observability notices all route
+through the ``repro`` logger hierarchy instead of bare ``print()`` calls,
+so a single ``--log-level`` flag controls verbosity everywhere.  Progress
+stays on **stderr** by default (stdout is reserved for command output:
+tables, CSV, summaries that scripts grep).
+
+The handler resolves ``sys.stderr`` at emit time rather than capturing it
+at setup time — pytest's ``capsys`` and test-injected streams keep
+working no matter when logging was configured.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOG_LEVELS", "setup_logging", "get_logger"]
+
+#: accepted ``--log-level`` names, mapped to stdlib levels
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_ROOT = "repro"
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler bound to whatever ``sys.stderr`` currently is."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # the base __init__ assigns; ignore
+        pass
+
+
+def setup_logging(level: str = "info") -> logging.Logger:
+    """Configure the ``repro`` logger (idempotent; returns it).
+
+    Messages are emitted verbatim (no timestamp/level prefix) so progress
+    lines look exactly like the prints they replaced; ``--log-level
+    debug`` switches to a prefixed format for actual debugging.
+    """
+    try:
+        numeric = LOG_LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; available: {', '.join(LOG_LEVELS)}"
+        ) from None
+    logger = logging.getLogger(_ROOT)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    if not any(isinstance(h, _DynamicStderrHandler) for h in logger.handlers):
+        logger.addHandler(_DynamicStderrHandler())
+    fmt = (
+        "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        if numeric <= logging.DEBUG
+        else "%(message)s"
+    )
+    for handler in logger.handlers:
+        if isinstance(handler, _DynamicStderrHandler):
+            handler.setFormatter(logging.Formatter(fmt))
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``name`` may include dots)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")

@@ -34,6 +34,8 @@ import numpy as np
 from repro.gpu.cache import SetAssociativeCache
 from repro.gpu.memory_controller import MemoryController
 from repro.gpu.trace import MemoryTrace
+from repro.obs import metrics
+from repro.obs.tracing import span
 from repro.replay.dram import replay_dram
 from repro.replay.l2 import replay_l2
 from repro.replay.mdc import replay_mdc
@@ -55,8 +57,15 @@ def replay_trace(
     Same signature and same observable effects as
     :func:`~repro.replay.reference.replay_trace_scalar`.
     """
-    compiled = trace.compile(base_addresses)
-    miss_mask = replay_l2(l2, compiled.addresses, compiled.is_write, compiled.counts)
+    with span("replay.compile", cat="replay"):
+        compiled = trace.compile(base_addresses)
+    with span("replay.l2", cat="replay", accesses=int(compiled.addresses.shape[0])):
+        miss_mask = replay_l2(
+            l2, compiled.addresses, compiled.is_write, compiled.counts
+        )
+    if metrics.enabled():
+        metrics.inc("replay.accesses", int(compiled.counts.sum()))
+        metrics.inc("replay.l2_misses", int(miss_mask.sum()))
     if not miss_mask.any():
         return
 
@@ -76,46 +85,49 @@ def replay_trace(
     miss_bursts = np.zeros(n_miss, dtype=np.int64)
     write_indices = np.nonzero(miss_write)[0]
     if write_indices.size:
-        region_names = compiled.regions
-        approximable = np.fromiter(
-            (all_regions[name].approximable for name in region_names),
-            np.bool_,
-            len(region_names),
-        )
-        write_approx = approximable[miss_region[write_indices]]
-        for flag in (True, False):
-            selected = write_indices[write_approx == flag]
-            if not selected.size:
-                continue
-            blocks = [
-                region_blocks[region_names[ri]][bi]
-                for ri, bi in zip(
-                    miss_region[selected].tolist(), miss_block[selected].tolist()
-                )
-            ]
-            for i, stored in zip(
-                selected.tolist(), backend.store_batch(blocks, approximable=flag)
-            ):
-                stored_by_miss[i] = stored
-                miss_bursts[i] = stored.bursts
+        with span("replay.store_batch", cat="replay",
+                  writes=int(write_indices.size)):
+            region_names = compiled.regions
+            approximable = np.fromiter(
+                (all_regions[name].approximable for name in region_names),
+                np.bool_,
+                len(region_names),
+            )
+            write_approx = approximable[miss_region[write_indices]]
+            for flag in (True, False):
+                selected = write_indices[write_approx == flag]
+                if not selected.size:
+                    continue
+                blocks = [
+                    region_blocks[region_names[ri]][bi]
+                    for ri, bi in zip(
+                        miss_region[selected].tolist(), miss_block[selected].tolist()
+                    )
+                ]
+                for i, stored in zip(
+                    selected.tolist(), backend.store_batch(blocks, approximable=flag)
+                ):
+                    stored_by_miss[i] = stored
+                    miss_bursts[i] = stored.bursts
 
     # ------------------------------------------------------------------ #
     # per-controller miss-path accounting
-    controller_index = (miss_addr // interleave_blocks) % len(controllers)
-    by_controller = np.argsort(controller_index, kind="stable")
-    counts = np.bincount(controller_index, minlength=len(controllers))
-    offsets = np.cumsum(counts) - counts
-    for c, controller in enumerate(controllers):
-        if not counts[c]:
-            continue
-        events = by_controller[offsets[c] : offsets[c] + counts[c]]
-        _replay_controller(
-            controller,
-            addresses=miss_addr[events],
-            is_write=miss_write[events],
-            stored_bursts=miss_bursts[events],
-            stored_blocks=[stored_by_miss[i] for i in events.tolist()],
-        )
+    with span("replay.controllers", cat="replay", misses=n_miss):
+        controller_index = (miss_addr // interleave_blocks) % len(controllers)
+        by_controller = np.argsort(controller_index, kind="stable")
+        counts = np.bincount(controller_index, minlength=len(controllers))
+        offsets = np.cumsum(counts) - counts
+        for c, controller in enumerate(controllers):
+            if not counts[c]:
+                continue
+            events = by_controller[offsets[c] : offsets[c] + counts[c]]
+            _replay_controller(
+                controller,
+                addresses=miss_addr[events],
+                is_write=miss_write[events],
+                stored_bursts=miss_bursts[events],
+                stored_blocks=[stored_by_miss[i] for i in events.tolist()],
+            )
 
 
 def _replay_controller(

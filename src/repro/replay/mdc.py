@@ -30,6 +30,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.metadata_cache import MetadataCache
+from repro.obs import metrics
 
 
 def replay_mdc(
@@ -62,6 +63,8 @@ def replay_mdc(
     untouched = resident[~np.isin(resident, unique)]
     if len(unique) + len(untouched) > mdc.capacity_entries:
         # Evictions are possible: replay through the exact scalar MDC.
+        if metrics.enabled():
+            metrics.inc("mdc.fallback")
         for i, (address, lookup, value) in enumerate(
             zip(addresses.tolist(), is_lookup.tolist(), values.tolist())
         ):
@@ -72,6 +75,8 @@ def replay_mdc(
 
     # No eviction can occur: a lookup hits iff the address was touched by an
     # earlier event or is already resident.
+    if metrics.enabled():
+        metrics.inc("mdc.fast_path")
     if values.min() < 1 or values.max() > mdc.max_bursts:
         raise ValueError(f"burst count must be 1..{mdc.max_bursts}")
     first_occurrence = np.zeros(n, dtype=np.bool_)

@@ -19,8 +19,12 @@ import dataclasses
 import sys
 
 from repro.campaign.store import STORE_BACKENDS
+from repro.obs.cli import enable_observability, finish_trace
+from repro.obs.log import get_logger
 from repro.studies.base import Study
 from repro.studies.registry import available_studies, study_class
+
+_log = get_logger("study")
 
 #: sentinel: tuple fields whose default is empty still coerce elements
 _AUTO = object()
@@ -116,12 +120,14 @@ def _build_study_or_none(args: argparse.Namespace) -> Study | None:
         return build_study(args.study, args.set)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
-        print(f"error: {message}", file=sys.stderr)
+        _log.error("error: %s", message)
         return None
 
 
 def _execute_study(study: Study, args: argparse.Namespace):
     from repro.campaign.cli import ProgressReporter  # late: avoids import cycle
+
+    enable_observability(args)
 
     # Attach progress to anything grid-backed without expanding the grid
     # here — Study.run expands it once, and content-hashing thousands of
@@ -153,6 +159,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{result.meta.get('n_executed', 0)} executed",
             file=sys.stderr,
         )
+    finish_trace(args)
     return 0
 
 
@@ -175,6 +182,7 @@ def cmd_export(args: argparse.Namespace) -> int:
             handle.close()
     if args.csv != "-":
         print(f"wrote {len(rows)} rows to {args.csv}")
+    finish_trace(args)
     return 0
 
 
@@ -209,6 +217,12 @@ def add_study_parser(sub: argparse._SubParsersAction) -> None:
         parser.add_argument("--workers", type=int, default=1, help="worker processes")
         parser.add_argument(
             "--quiet", action="store_true", help="suppress per-job progress"
+        )
+        parser.add_argument(
+            "--trace",
+            default=None,
+            metavar="OUT.json",
+            help="collect per-phase spans and write a Chrome trace-event file",
         )
 
     run_parser = study_sub.add_parser("run", help="run a study and print its table")

@@ -1,0 +1,119 @@
+"""ProgressReporter edge cases: cached-only, failure-only, clock formatting.
+
+The happy path (rolling ETA over a mixed run) lives in ``test_campaign``;
+these tests pin the corners with an injected stream and an injected clock
+so the suffix formatting is asserted exactly.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.campaign.cli import ProgressReporter, _format_duration
+from repro.campaign.spec import Job
+from repro.campaign.store import JobRecord
+
+
+def _job() -> Job:
+    return Job(workload="NN", scheme="E2MC", compute_error=False)
+
+
+class FakeClock:
+    """Monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def reporter_setup():
+    stream = io.StringIO()
+    clock = FakeClock()
+    reporter = ProgressReporter(workers=1, stream=stream, clock=clock)
+    return reporter, stream, clock
+
+
+def test_format_duration_brackets():
+    assert _format_duration(0.4) == "0s"
+    assert _format_duration(59.4) == "59s"
+    assert _format_duration(60) == "1:00"
+    assert _format_duration(61) == "1:01"
+    assert _format_duration(3599) == "59:59"
+    assert _format_duration(3600) == "1:00:00"
+    assert _format_duration(7322) == "2:02:02"
+
+
+def test_cached_only_campaign_prints_no_mean_or_eta(reporter_setup):
+    reporter, stream, clock = reporter_setup
+    clock.now += 2.0
+    for done in (1, 2, 3):
+        reporter(JobRecord(job=_job(), status="ok", cached=True), done, 3)
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        assert "avg" not in line and "ETA" not in line
+    # the suffix carries the cache count and the injected wall time, exactly
+    assert lines[-1] == f"[3/3] {_job().label()}: cached (3 cached, 2s elapsed)"
+
+
+def test_failure_only_run_prints_no_eta_and_counts_nothing(reporter_setup):
+    reporter, stream, clock = reporter_setup
+    clock.now += 61.0
+    reporter(JobRecord(job=_job(), status="error", elapsed_s=0.01), 1, 2)
+    reporter(JobRecord(job=_job(), status="error", elapsed_s=0.02), 2, 2)
+    lines = stream.getvalue().splitlines()
+    assert all("FAILED" in line for line in lines)
+    # failures never feed the rolling mean, so no ETA even with jobs left
+    assert all("avg" not in line and "ETA" not in line for line in lines)
+    assert reporter.n_cached == 0
+    assert lines[-1].endswith("FAILED (1:01 elapsed)")
+
+
+def test_mixed_cached_and_executed_suffix_order(reporter_setup):
+    reporter, stream, clock = reporter_setup
+    reporter(JobRecord(job=_job(), status="ok", cached=True), 1, 3)
+    clock.now += 10.0
+    reporter(JobRecord(job=_job(), status="ok", elapsed_s=4.0), 2, 3)
+    line = stream.getvalue().splitlines()[-1]
+    # suffix order: mean/ETA, cached count, wall time
+    assert line.endswith("ran in 4.00s (avg 4.00s/job, ETA 4s, 1 cached, 10s elapsed)")
+
+
+def test_wall_time_tracks_injected_clock(reporter_setup):
+    reporter, _, clock = reporter_setup
+    assert reporter.wall_time_s == 0.0
+    clock.now += 42.5
+    assert reporter.wall_time_s == 42.5
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        ProgressReporter(window=0)
+
+
+def test_eta_divides_by_workers():
+    stream = io.StringIO()
+    reporter = ProgressReporter(workers=4, stream=stream, clock=FakeClock())
+    for done in (1, 2):
+        reporter(JobRecord(job=_job(), status="ok", elapsed_s=8.0), done, 10)
+    # 8 jobs left at 8 s mean over 4 workers -> 16 s
+    assert "ETA 16s" in stream.getvalue().splitlines()[-1]
+
+
+def test_default_stream_routes_through_repro_logger(capsys):
+    from repro.obs.log import setup_logging
+
+    setup_logging("info")
+    reporter = ProgressReporter(clock=FakeClock())
+    reporter(JobRecord(job=_job(), status="ok", elapsed_s=1.0), 1, 1)
+    assert capsys.readouterr().err.startswith("[1/1]")
+    # -q raises the level to warning, which mutes progress lines
+    setup_logging("warning")
+    reporter(JobRecord(job=_job(), status="ok", elapsed_s=1.0), 1, 1)
+    assert capsys.readouterr().err == ""
+    setup_logging("info")
