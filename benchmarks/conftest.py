@@ -46,6 +46,13 @@ def pytest_addoption(parser):
         "relaxed speedup floors (used by CI)",
     )
     parser.addoption(
+        "--tournament-quick",
+        action="store_true",
+        default=False,
+        help="lossless-kernels microbenchmark smoke mode: fewer workloads, "
+        "relaxed speedup floor (used by CI)",
+    )
+    parser.addoption(
         "--bench-record",
         action="store",
         default=None,
@@ -77,6 +84,12 @@ def replay_quick(request) -> bool:
 def codec_quick(request) -> bool:
     """Whether the payload-codec microbenchmark runs in CI smoke mode."""
     return bool(request.config.getoption("--codec-quick"))
+
+
+@pytest.fixture(scope="session")
+def tournament_quick(request) -> bool:
+    """Whether the lossless-kernels microbenchmark runs in CI smoke mode."""
+    return bool(request.config.getoption("--tournament-quick"))
 
 
 @pytest.fixture(scope="session")

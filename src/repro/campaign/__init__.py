@@ -13,6 +13,8 @@ from repro.campaign.executor import CampaignResult, run_campaign, run_jobs
 from repro.campaign.spec import (
     BASELINE_SCHEME,
     KNOWN_SCHEMES,
+    LOSSLESS_SCHEMES,
+    PAPER_SCHEMES,
     SCHEME_VARIANTS,
     CampaignSpec,
     Job,
@@ -33,6 +35,8 @@ from repro.campaign.worker import build_backend, execute_job, simulate_job
 __all__ = [
     "BASELINE_SCHEME",
     "KNOWN_SCHEMES",
+    "LOSSLESS_SCHEMES",
+    "PAPER_SCHEMES",
     "SCHEME_VARIANTS",
     "STORE_BACKENDS",
     "CampaignSpec",

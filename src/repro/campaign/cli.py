@@ -35,7 +35,7 @@ from collections import deque
 
 from repro._version import __version__
 from repro.campaign.executor import run_campaign
-from repro.campaign.spec import KNOWN_SCHEMES, CampaignSpec
+from repro.campaign.spec import PAPER_SCHEMES, CampaignSpec
 from repro.campaign.store import STORE_BACKENDS, JobRecord, ResultStore, open_store
 from repro.obs import metrics, tracing
 from repro.obs.cli import add_bench_parser, enable_observability, finish_trace
@@ -434,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--schemes",
-        default=",".join(KNOWN_SCHEMES),
+        default=",".join(PAPER_SCHEMES),
         help="comma-separated schemes (default: E2MC + all TSLC variants)",
     )
     run.add_argument(

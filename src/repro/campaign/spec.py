@@ -30,8 +30,16 @@ SCHEME_VARIANTS = {
     "TSLC-OPT": SLCVariant.OPT,
 }
 
-#: every scheme label a job may carry (baseline first)
-KNOWN_SCHEMES = (BASELINE_SCHEME, *SCHEME_VARIANTS)
+#: purely lossless schemes (beyond the E2MC baseline) that jobs may carry —
+#: these dispatch through :class:`~repro.gpu.backends.LosslessBackend` and the
+#: compression registry, with no lossy threshold and no application error
+LOSSLESS_SCHEMES = ("BDI", "FPC", "CPACK", "BPC")
+
+#: the schemes the paper itself sweeps (baseline first) — the default grid
+PAPER_SCHEMES = (BASELINE_SCHEME, *SCHEME_VARIANTS)
+
+#: every scheme label a job may carry
+KNOWN_SCHEMES = (*PAPER_SCHEMES, *LOSSLESS_SCHEMES)
 
 #: bumped whenever job execution semantics change, so stale cached results
 #: from an older engine are never mistaken for current ones
@@ -113,10 +121,10 @@ class Job:
             object.__setattr__(self, "scale", float(self.scale))
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "compute_error", bool(self.compute_error))
-        if self.scheme == BASELINE_SCHEME:
-            # The lossless baseline ignores the lossy threshold and has no
+        if self.scheme == BASELINE_SCHEME or self.scheme in LOSSLESS_SCHEMES:
+            # Lossless schemes ignore the lossy threshold and have no
             # application error by construction; pin both so every threshold
-            # of a sweep addresses the one baseline cell.
+            # of a sweep addresses the one lossless cell per scheme.
             object.__setattr__(self, "lossy_threshold_bytes", 0)
             object.__setattr__(self, "compute_error", False)
 
@@ -172,7 +180,7 @@ class CampaignSpec:
     """
 
     workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
-    schemes: tuple[str, ...] = KNOWN_SCHEMES
+    schemes: tuple[str, ...] = PAPER_SCHEMES
     lossy_thresholds: tuple[int, ...] = (16,)
     mags: tuple[int | None, ...] = (None,)
     scales: tuple[float | None, ...] = (None,)

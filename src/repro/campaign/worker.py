@@ -15,9 +15,17 @@ import time
 import traceback
 from datetime import datetime, timezone
 
-from repro.campaign.spec import BASELINE_SCHEME, SCHEME_VARIANTS, Job, overrides_to_config
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    KNOWN_SCHEMES,
+    LOSSLESS_SCHEMES,
+    SCHEME_VARIANTS,
+    Job,
+    overrides_to_config,
+)
 from repro.obs import metrics, tracing
 from repro.compression.e2mc import E2MCCompressor
+from repro.compression.registry import get_compressor
 from repro.core.config import SLCConfig
 from repro.core.slc import SLCCompressor
 from repro.gpu.backends import CompressionBackend, LosslessBackend, SLCBackend
@@ -35,10 +43,13 @@ def build_backend(
 ) -> CompressionBackend:
     """Build the memory-controller backend for a scheme label.
 
-    ``"E2MC"`` yields the lossless baseline (46/20-cycle latencies); the
-    TSLC labels yield an SLC backend of the matching variant (60/20 cycles).
-    ``batch_codec=False`` routes SLC batched stores through the scalar
-    per-block payload path (the codec microbenchmark's reference).
+    ``"E2MC"`` yields the lossless baseline (46/20-cycle latencies from the
+    GPU latency config); the other lossless labels (``"BDI"``, ``"FPC"``,
+    ``"CPACK"``, ``"BPC"``) come from the compression registry with the
+    registry's per-scheme latencies; the TSLC labels yield an SLC backend of
+    the matching variant (60/20 cycles).  ``batch_codec=False`` routes SLC
+    batched stores through the scalar per-block payload path (the codec
+    microbenchmark's reference).
     """
     mag = mag_bytes if mag_bytes is not None else config.mag_bytes
     latency = config.latency
@@ -54,10 +65,15 @@ def build_backend(
             compress_cycles=latency.e2mc_compress_cycles,
             decompress_cycles=latency.e2mc_decompress_cycles,
         )
+    if scheme in LOSSLESS_SCHEMES:
+        compressor = get_compressor(
+            scheme, block_size_bytes=config.block_size_bytes
+        )
+        # latencies resolve from the registry inside LosslessBackend
+        return LosslessBackend(compressor, mag_bytes=mag)
     if scheme not in SCHEME_VARIANTS:
         raise KeyError(
-            f"unknown scheme {scheme!r}; available: "
-            f"{', '.join((BASELINE_SCHEME, *SCHEME_VARIANTS))}"
+            f"unknown scheme {scheme!r}; available: {', '.join(KNOWN_SCHEMES)}"
         )
     slc_config = SLCConfig(
         block_size_bytes=config.block_size_bytes,

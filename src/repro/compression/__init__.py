@@ -21,13 +21,20 @@ from repro.compression.base import (
     CompressedBlock,
     CompressionError,
     DecompressionError,
+    as_block_bytes,
 )
 from repro.compression.bdi import BDICompressor
 from repro.compression.bpc import BPCCompressor
 from repro.compression.cpack import CPackCompressor
 from repro.compression.e2mc import E2MCCompressor, SymbolModel
 from repro.compression.fpc import FPCCompressor
-from repro.compression.registry import available_compressors, get_compressor
+from repro.compression.registry import (
+    SchemeInfo,
+    available_compressors,
+    get_compressor,
+    register_compressor,
+    scheme_latency,
+)
 from repro.compression.stats import (
     CompressionStats,
     bursts_for_size,
@@ -49,8 +56,12 @@ __all__ = [
     "E2MCCompressor",
     "SymbolModel",
     "BPCCompressor",
+    "as_block_bytes",
     "available_compressors",
     "get_compressor",
+    "register_compressor",
+    "scheme_latency",
+    "SchemeInfo",
     "CompressionStats",
     "bursts_for_size",
     "effective_compressed_bytes",

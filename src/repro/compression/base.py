@@ -6,6 +6,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 
 class CompressionError(RuntimeError):
     """Raised when a block cannot be compressed (malformed input)."""
@@ -74,6 +76,11 @@ class BlockCompressor(ABC):
 
     name: str = "abstract"
 
+    #: True when :meth:`compressed_size_bits_batch` is a vectorized kernel
+    #: rather than the scalar fallback loop (the loop stays available on the
+    #: base class and is the n = 1 oracle every kernel is tested against)
+    batched_analysis: bool = False
+
     def __init__(self, block_size_bytes: int = 128) -> None:
         if block_size_bytes <= 0:
             raise ValueError(f"block size must be positive, got {block_size_bytes}")
@@ -111,6 +118,41 @@ class BlockCompressor(ABC):
         """Compress then decompress a block (used heavily in tests)."""
         return self.decompress(self.compress(block))
 
+    # ------------------------------------------------------------------ #
+    # batched protocol (the vectorized store path of LosslessBackend)
+
+    def compressed_size_bits_batch(self, blocks: list[bytes]) -> np.ndarray:
+        """Compressed sizes of many blocks at once, as an int64 array of bits.
+
+        The default loops :meth:`compress` per block, so *every* compressor
+        supports the batched store path.  Compressors with vectorized
+        size-analysis kernels (BDI/FPC/C-Pack/BPC via
+        :mod:`repro.kernels.lossless`, E2MC via its LUT kernels) override
+        this and set :attr:`batched_analysis`; overrides must stay bit-exact
+        against this scalar loop.
+        """
+        return np.asarray(
+            [self.compress(block).compressed_size_bits for block in blocks],
+            dtype=np.int64,
+        )
+
+    def analyze_batch(self, blocks: list[bytes]) -> np.ndarray:
+        """Batched size analysis — the entry point backends dispatch through.
+
+        Alias of :meth:`compressed_size_bits_batch` (compressors override
+        only that method); separated so the backend-facing protocol name is
+        stable even if size analysis ever grows beyond plain sizes.
+        """
+        return self.compressed_size_bits_batch(blocks)
+
+    def compress_batch(self, blocks: list[bytes]) -> list[CompressedBlock]:
+        """Batched :meth:`compress`; the default loops (E2MC vectorizes)."""
+        return [self.compress(block) for block in blocks]
+
+    def decompress_batch(self, compressed: list[CompressedBlock]) -> list[bytes]:
+        """Batched :meth:`decompress`; the default loops (E2MC vectorizes)."""
+        return [self.decompress(block) for block in compressed]
+
     def train(self, blocks: list[bytes]) -> None:  # noqa: B027 - optional hook
         """Optional hook: adapt the compressor's model to sample data.
 
@@ -123,12 +165,21 @@ class BlockCompressor(ABC):
         return f"{type(self).__name__}(block_size_bytes={self.block_size_bytes})"
 
 
+def as_block_bytes(block: bytes) -> bytes:
+    """``block`` as :class:`bytes` without copying when it already is one.
+
+    Store paths build millions of block descriptors whose data is the input
+    block verbatim; ``bytes(block)`` would copy every one of them.
+    """
+    return block if isinstance(block, bytes) else bytes(block)
+
+
 def store_uncompressed(compressor: BlockCompressor, block: bytes) -> CompressedBlock:
     """Build the fallback descriptor for a block stored uncompressed."""
     return CompressedBlock(
         algorithm=compressor.name,
         original_size_bits=compressor.block_size_bits,
         compressed_size_bits=compressor.block_size_bits,
-        payload=bytes(block),
+        payload=as_block_bytes(block),
         metadata={"uncompressed": True},
     )

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.compression.base import (
     BlockCompressor,
     CompressedBlock,
@@ -62,6 +64,13 @@ class BDICompressor(BlockCompressor):
     """Base-Delta-Immediate block compressor."""
 
     name = "bdi"
+    batched_analysis = True
+
+    def compressed_size_bits_batch(self, blocks: list[bytes]) -> np.ndarray:
+        """Vectorized size analysis (bit-exact against :meth:`compress`)."""
+        from repro.kernels.lossless import bdi_size_bits
+
+        return bdi_size_bits(blocks, self.block_size_bytes)
 
     def compress(self, block: bytes) -> CompressedBlock:
         self._check_block(block)

@@ -8,6 +8,8 @@ fallback); runs of zero words are additionally run-length encoded.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.compression.base import (
     BlockCompressor,
     CompressedBlock,
@@ -48,6 +50,15 @@ class FPCCompressor(BlockCompressor):
     """Frequent Pattern Compression over 32-bit words."""
 
     name = "fpc"
+    batched_analysis = True
+
+    def compressed_size_bits_batch(self, blocks: list[bytes]) -> np.ndarray:
+        """Vectorized size analysis (bit-exact against :meth:`compress`)."""
+        if self.block_size_bytes % 4:
+            return super().compressed_size_bits_batch(blocks)
+        from repro.kernels.lossless import fpc_size_bits
+
+        return fpc_size_bits(blocks, self.block_size_bytes)
 
     def compress(self, block: bytes) -> CompressedBlock:
         self._check_block(block)

@@ -20,7 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.base import BlockCompressor
+from repro.compression.base import BlockCompressor, as_block_bytes
+from repro.compression.registry import scheme_latency
 from repro.compression.stats import bursts_for_size
 from repro.core.config import SLCMode
 from repro.core.slc import SLCCompressor
@@ -93,26 +94,45 @@ class NoCompressionBackend(CompressionBackend):
         return StoredBlock(
             bursts=self.max_bursts,
             stored_bits=self.block_size_bytes * 8,
-            data=bytes(block),
+            data=as_block_bytes(block),
             lossy=False,
         )
 
 
+#: latency fallback for compressors that are not in the registry (custom /
+#: test compressors): the E2MC figures this class used to hard-code
+_FALLBACK_LATENCY = (46, 20)
+
+
 class LosslessBackend(CompressionBackend):
-    """MAG-aware storage through any lossless block compressor."""
+    """MAG-aware storage through any lossless block compressor.
+
+    Latencies default to the per-scheme figures the compression registry
+    carries (:func:`repro.compression.registry.scheme_latency`); explicit
+    ``compress_cycles``/``decompress_cycles`` arguments override them.
+    """
 
     def __init__(
         self,
         compressor: BlockCompressor,
         mag_bytes: int = 32,
-        compress_cycles: int = 46,
-        decompress_cycles: int = 20,
+        compress_cycles: int | None = None,
+        decompress_cycles: int | None = None,
     ) -> None:
         super().__init__(compressor.block_size_bytes, mag_bytes)
         self.compressor = compressor
         self.name = compressor.name
-        self._compress_cycles = compress_cycles
-        self._decompress_cycles = decompress_cycles
+        if compress_cycles is None or decompress_cycles is None:
+            try:
+                default_compress, default_decompress = scheme_latency(compressor.name)
+            except KeyError:
+                default_compress, default_decompress = _FALLBACK_LATENCY
+            if compress_cycles is None:
+                compress_cycles = default_compress
+            if decompress_cycles is None:
+                decompress_cycles = default_decompress
+        self._compress_cycles = int(compress_cycles)
+        self._decompress_cycles = int(decompress_cycles)
 
     def train(self, blocks: list[bytes]) -> None:
         self.compressor.train(blocks)
@@ -124,20 +144,20 @@ class LosslessBackend(CompressionBackend):
     def store_batch(
         self, blocks: list[bytes], approximable: bool = True
     ) -> list[StoredBlock]:
-        """Batched stores; E2MC sizes come from the vectorized LUT kernels.
+        """Batched stores through the compressor's batched size analysis.
 
-        For compressors exposing ``compressed_size_bits_batch`` (E2MC) the
-        stored size of every block is a LUT gather plus a row sum — no
-        bit-level encoding — which matches :meth:`store` exactly because an
-        E2MC block's compressed size *is* the sum of its symbol code lengths.
-        Other compressors fall back to the scalar loop.
+        Every :class:`~repro.compression.base.BlockCompressor` provides
+        ``analyze_batch`` — vectorized kernels for the registry schemes
+        (E2MC's LUT gather, :mod:`repro.kernels.lossless` for BDI, FPC,
+        C-Pack and BPC), the bit-exact scalar fallback loop for anything
+        else — so the dispatch needs no per-scheme special case and matches
+        :meth:`store` exactly.
         """
-        size_batch = getattr(self.compressor, "compressed_size_bits_batch", None)
-        if size_batch is None:
-            return super().store_batch(blocks, approximable=approximable)
         return [
             self._stored(block, size_bits)
-            for block, size_bits in zip(blocks, size_batch(blocks).tolist())
+            for block, size_bits in zip(
+                blocks, self.compressor.analyze_batch(blocks).tolist()
+            )
         ]
 
     def _stored(self, block: bytes, size_bits: int) -> StoredBlock:
@@ -149,7 +169,7 @@ class LosslessBackend(CompressionBackend):
         return StoredBlock(
             bursts=bursts,
             stored_bits=size_bits,
-            data=bytes(block),
+            data=as_block_bytes(block),
             lossy=False,
         )
 

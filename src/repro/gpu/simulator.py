@@ -450,6 +450,14 @@ class GPUSimulator:
 
         extra_metrics = {
             "mdc_extra_bursts": sum(c.stats.mdc_extra_bursts for c in controllers),
+            # final stored footprint in bits; with the uncompressed footprint
+            # (stored_blocks * block bits) this yields the raw compression
+            # ratio of a run without re-walking the storage
+            "stored_bits": sum(
+                stored.stored_bits
+                for controller in controllers
+                for _, stored in controller.stored_items()
+            ),
         }
         if self.payload_digest:
             extra_metrics["payload_sha256"] = self._payload_digest(controllers)

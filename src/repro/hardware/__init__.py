@@ -1,5 +1,13 @@
 """Analytic 32 nm hardware cost model for the SLC logic (Table I)."""
 
+from repro.hardware.costs import (
+    HardwareCost,
+    scheme_hardware_cost,
+    synthesize_bdi,
+    synthesize_bpc,
+    synthesize_cpack,
+    synthesize_fpc,
+)
 from repro.hardware.gates import GateLibrary, GateCount
 from repro.hardware.gpu_reference import E2MC_REFERENCE, GTX580_REFERENCE, GPUReference
 from repro.hardware.synthesis import (
@@ -17,7 +25,13 @@ __all__ = [
     "GPUReference",
     "GTX580_REFERENCE",
     "E2MC_REFERENCE",
+    "HardwareCost",
     "SynthesisResult",
+    "scheme_hardware_cost",
+    "synthesize_bdi",
+    "synthesize_bpc",
+    "synthesize_cpack",
+    "synthesize_fpc",
     "synthesize_tslc_compressor",
     "synthesize_tslc_decompressor",
     "table1",

@@ -1,0 +1,255 @@
+"""Per-scheme hardware cost estimates for the all-scheme tournament.
+
+The tournament study ranks every compression scheme on compression ratio,
+application error and speedup — and on what the scheme costs in silicon.
+This module provides that last axis: one :class:`HardwareCost` per campaign
+scheme label.
+
+E2MC's cost is the published reference figure (:data:`E2MC_REFERENCE`); the
+TSLC variants add the analytically synthesized compressor/decompressor
+overheads of :mod:`repro.hardware.synthesis` on top of it.  The classic
+lossless schemes (BDI, FPC, C-Pack, BPC) have no figure in the paper, so
+they are counted here with the same NAND2-equivalent gate model: each
+``synthesize_*`` function models the *combined* compress + decompress
+datapath of one memory-controller instance at a 1 GHz clock target.  These
+are order-of-magnitude estimates for ranking schemes against each other, not
+Design-Compiler reproductions — their value is that all schemes are costed
+with one consistent library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gates import GateCount, GateLibrary
+from repro.hardware.gpu_reference import E2MC_REFERENCE
+from repro.hardware.synthesis import (
+    SynthesisResult,
+    synthesize_tslc_compressor,
+    synthesize_tslc_decompressor,
+)
+
+#: clock target assumed for the classic-scheme datapaths [GHz]
+_CLASSIC_FREQUENCY_GHZ = 1.0
+
+#: average switching activity assumed for the power estimates
+_CLASSIC_ACTIVITY = 0.5
+
+_WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Area/power/gate cost of one compression scheme's controller hardware."""
+
+    scheme: str
+    area_mm2: float
+    power_mw: float
+    gate_count: float
+
+    def area_percent_of_e2mc(self) -> float:
+        """Area relative to the E2MC reference hardware (percent)."""
+        return self.area_mm2 / E2MC_REFERENCE.area_mm2 * 100.0
+
+
+def _classic_result(
+    unit: str, count: GateCount, activity: float
+) -> SynthesisResult:
+    return SynthesisResult(
+        unit=unit,
+        frequency_ghz=_CLASSIC_FREQUENCY_GHZ,
+        area_mm2=count.area_mm2(),
+        power_mw=count.power_mw(_CLASSIC_FREQUENCY_GHZ, activity=activity),
+        gate_count=count.gates,
+    )
+
+
+def synthesize_bdi(
+    block_size_bytes: int = 128,
+    library: GateLibrary | None = None,
+    activity: float = _CLASSIC_ACTIVITY,
+) -> SynthesisResult:
+    """BDI compress + decompress datapath (Pekhimenko et al., PACT 2012).
+
+    Compression runs all six (base, delta) encodings in parallel: per
+    encoding a subtractor array against the two bases plus range comparators
+    on every delta; decompression is one adder array of the widest encoding.
+    """
+    library = library or GateLibrary()
+    count = GateCount(library)
+    block_bits = block_size_bytes * 8
+    for base_bytes, delta_bytes in ((8, 1), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1)):
+        words = block_size_bytes // base_bytes
+        # two candidate bases (first word and zero) → one subtractor array
+        # plus per-word range checks on both deltas
+        count.add_adder(base_bytes * 8, count=words)
+        count.add_comparator(delta_bytes * 8, count=2 * words)
+    # encoding selection: pick the smallest fitting encoding
+    count.add_priority_encoder(8)
+    count.add_mux(block_bits, inputs=8)
+    # decompression adders: widest encoding is 16 × 64-bit base + delta
+    count.add_adder(64, count=block_size_bytes // 8)
+    # input/output staging registers for both directions
+    count.add_registers(block_bits, count=2)
+    count.add_raw_gates(300)
+    return _classic_result("bdi", count, activity)
+
+
+def synthesize_fpc(
+    block_size_bytes: int = 128,
+    library: GateLibrary | None = None,
+    activity: float = _CLASSIC_ACTIVITY,
+) -> SynthesisResult:
+    """FPC compress + decompress datapath (Alameldeen & Wood, 2004).
+
+    Every 32-bit word passes seven parallel pattern detectors (sign-extension
+    ranges, zero halves, repeated bytes); a priority encoder picks the first
+    match and a shifter/mux packs the literal bits.
+    """
+    library = library or GateLibrary()
+    count = GateCount(library)
+    block_bits = block_size_bytes * 8
+    words = block_size_bytes // 4
+    # pattern detectors: range comparators on the full word, the halves and
+    # the repeated-byte equality, per word
+    count.add_comparator(_WORD_BITS, count=3 * words)
+    count.add_comparator(16, count=2 * words)
+    count.add_comparator(8, count=2 * words)
+    count.add_priority_encoder(7, count=words)
+    # literal packing / unpacking muxes (compress + decompress)
+    count.add_mux(_WORD_BITS, inputs=7, count=2 * words)
+    count.add_registers(block_bits, count=2)
+    count.add_raw_gates(200)
+    return _classic_result("fpc", count, activity)
+
+
+def synthesize_cpack(
+    block_size_bytes: int = 128,
+    library: GateLibrary | None = None,
+    activity: float = _CLASSIC_ACTIVITY,
+) -> SynthesisResult:
+    """C-Pack compress + decompress datapath (Chen et al., TVLSI 2010).
+
+    Dominated by the 16-entry 32-bit FIFO dictionary (kept on both sides)
+    and its full/partial match comparators; the paper's design processes two
+    words per cycle, so the match logic is doubled.
+    """
+    library = library or GateLibrary()
+    count = GateCount(library)
+    block_bits = block_size_bytes * 8
+    lanes = 2  # words processed per cycle
+    entries = 16
+    # dictionary registers on the compress and decompress sides
+    count.add_registers(entries * _WORD_BITS, count=2)
+    # per-lane: full (32-bit), 24-bit and 16-bit prefix comparators per entry
+    count.add_comparator(_WORD_BITS, count=lanes * entries)
+    count.add_comparator(24, count=lanes * entries)
+    count.add_comparator(16, count=lanes * entries)
+    count.add_priority_encoder(entries, count=lanes)
+    # code/literal packing and dictionary read muxes, both directions
+    count.add_mux(_WORD_BITS, inputs=entries, count=2 * lanes)
+    count.add_registers(block_bits, count=2)
+    count.add_raw_gates(400)
+    return _classic_result("cpack", count, activity)
+
+
+def synthesize_bpc(
+    block_size_bytes: int = 128,
+    library: GateLibrary | None = None,
+    activity: float = _CLASSIC_ACTIVITY,
+) -> SynthesisResult:
+    """BPC compress + decompress datapath (Kim et al., ISCA 2016).
+
+    Delta transform over consecutive words, a bit-plane transpose network
+    (pure wiring plus staging muxes), the DBX XOR stage and per-plane
+    run-length/pattern encoders; the decompressor mirrors the transform.
+    """
+    library = library or GateLibrary()
+    count = GateCount(library)
+    block_bits = block_size_bytes * 8
+    words = block_size_bytes // 4
+    delta_bits = 33
+    # delta subtractors (compress) and inverse adders (decompress)
+    count.add_adder(delta_bits, count=2 * (words - 1))
+    # transpose staging: the delta matrix is held while planes stream out
+    count.add_registers(delta_bits * (words - 1))
+    # DBX XOR plus per-plane zero/all-ones/single-one detectors
+    count.add_raw_gates(delta_bits * (words - 1))  # XOR network
+    count.add_comparator(words - 1, count=3 * delta_bits)
+    count.add_priority_encoder(delta_bits)
+    count.add_mux(words - 1, inputs=4, count=delta_bits)
+    count.add_registers(block_bits, count=2)
+    count.add_raw_gates(300)
+    return _classic_result("bpc", count, activity)
+
+
+def _e2mc_cost(library: GateLibrary) -> HardwareCost:
+    return HardwareCost(
+        scheme="E2MC",
+        area_mm2=E2MC_REFERENCE.area_mm2,
+        power_mw=E2MC_REFERENCE.power_w * 1000.0,
+        gate_count=E2MC_REFERENCE.area_mm2 / library.nand2_area_mm2,
+    )
+
+
+def scheme_hardware_cost(
+    scheme: str,
+    block_size_bytes: int = 128,
+    library: GateLibrary | None = None,
+) -> HardwareCost:
+    """Hardware cost of one campaign scheme label (case-insensitive).
+
+    * ``E2MC`` — the published reference figures.
+    * ``TSLC-SIMP`` — E2MC plus the truncation compressor addition (no extra
+      tree nodes, no decompressor change: simple truncation needs none).
+    * ``TSLC-PRED`` — E2MC plus the compressor addition and the predicted-
+      symbol decompressor addition.
+    * ``TSLC-OPT`` — E2MC plus the staggered-tree compressor (extra nodes)
+      and the decompressor addition.
+    * ``BDI`` / ``FPC`` / ``CPACK`` / ``BPC`` — the standalone gate-model
+      estimates of the ``synthesize_*`` functions above.
+    """
+    library = library or GateLibrary()
+    key = scheme.upper()
+    if key == "E2MC":
+        return _e2mc_cost(library)
+    if key.startswith("TSLC-"):
+        base = _e2mc_cost(library)
+        if key == "TSLC-SIMP":
+            additions = [synthesize_tslc_compressor(extra_nodes={}, library=library)]
+        elif key == "TSLC-PRED":
+            additions = [
+                synthesize_tslc_compressor(extra_nodes={}, library=library),
+                synthesize_tslc_decompressor(library=library),
+            ]
+        elif key == "TSLC-OPT":
+            additions = [
+                synthesize_tslc_compressor(library=library),
+                synthesize_tslc_decompressor(library=library),
+            ]
+        else:
+            raise KeyError(f"unknown TSLC variant {scheme!r}")
+        return HardwareCost(
+            scheme=key,
+            area_mm2=base.area_mm2 + sum(r.area_mm2 for r in additions),
+            power_mw=base.power_mw + sum(r.power_mw for r in additions),
+            gate_count=base.gate_count + sum(r.gate_count for r in additions),
+        )
+    classic = {
+        "BDI": synthesize_bdi,
+        "FPC": synthesize_fpc,
+        "CPACK": synthesize_cpack,
+        "BPC": synthesize_bpc,
+    }
+    if key not in classic:
+        raise KeyError(
+            f"no hardware cost model for scheme {scheme!r}; "
+            f"known: E2MC, TSLC-SIMP, TSLC-PRED, TSLC-OPT, {', '.join(classic)}"
+        )
+    result = classic[key](block_size_bytes=block_size_bytes, library=library)
+    return HardwareCost(
+        scheme=key,
+        area_mm2=result.area_mm2,
+        power_mw=result.power_mw,
+        gate_count=result.gate_count,
+    )

@@ -41,6 +41,7 @@ from repro.studies.sweeps import (
     ResponseSurfaceStudy,
     SeedVarianceStudy,
 )
+from repro.studies.tournament import TournamentStudy, pareto_frontier
 
 __all__ = [
     "Study",
@@ -67,6 +68,8 @@ __all__ = [
     "ResponseSurfaceStudy",
     "SeedVarianceStudy",
     "GPUScalingStudy",
+    "TournamentStudy",
+    "pareto_frontier",
     "effective_ratio_by_mag",
     "workload_blocks",
 ]

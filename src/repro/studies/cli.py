@@ -30,6 +30,15 @@ _log = get_logger("study")
 _AUTO = object()
 
 
+def _fraction(raw: str) -> float:
+    """Parse ``"a/b"`` as a float (``scale=1/2048`` beats counting zeros)."""
+    numerator, _, denominator = raw.partition("/")
+    denom = float(denominator)
+    if denom == 0:
+        raise ValueError(f"fraction {raw!r} has a zero denominator")
+    return float(numerator) / denom
+
+
 def _coerce_scalar(raw: str, default) -> object:
     """Coerce one CLI string to the type of a field's default value."""
     if isinstance(default, bool):
@@ -41,16 +50,23 @@ def _coerce_scalar(raw: str, default) -> object:
     if isinstance(default, int) and not isinstance(default, bool):
         return int(raw)
     if isinstance(default, float):
-        return float(raw)
+        return _fraction(raw) if "/" in raw else float(raw)
     if isinstance(default, str):
         return raw
-    # None or unknown: best effort — int, then float, then the raw string
-    for caster in (int, float):
+    # None or unknown: best effort — int, fraction, float, then the raw string
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    if "/" in raw:
         try:
-            return caster(raw)
+            return _fraction(raw)
         except ValueError:
-            continue
-    return raw
+            return raw
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
 
 
 def coerce_param(cls: type[Study], key: str, raw: str) -> object:

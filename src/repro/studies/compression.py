@@ -45,19 +45,16 @@ def compression_stats_for_blocks(
     block_size_bytes: int = 128,
     train_samples: int = 1024,
 ) -> CompressionStats:
-    """Compress ``blocks`` with one technique and accumulate MAG statistics."""
+    """Compress ``blocks`` with one technique and accumulate MAG statistics.
+
+    Sizes come from the compressor's batched analysis — vectorized kernels
+    for every registry scheme (E2MC's LUT gather, :mod:`repro.kernels.lossless`
+    for BDI/FPC/C-Pack/BPC), bit-exact against per-block :meth:`compress`.
+    """
     compressor = get_compressor(compressor_name, block_size_bytes=block_size_bytes)
     compressor.train(sample_evenly(blocks, train_samples))
     stats = CompressionStats(block_size_bytes=block_size_bytes, mag_bytes=mag_bytes)
-    if compressor_name == "e2mc":
-        # The compressed size of an E2MC block is the sum of its code lengths
-        # plus the parallel-decoding header; the batched LUT kernel computes
-        # every block's size in one gather + row sum, matching what the
-        # hardware adder tree does without any bit-level encoding.
-        stats.add_blocks(compressor.compressed_size_bits_batch(blocks))
-    else:
-        for block in blocks:
-            stats.add_block(compressor.compress(block).compressed_size_bits)
+    stats.add_blocks(compressor.analyze_batch(blocks))
     return stats
 
 

@@ -1,0 +1,193 @@
+"""The all-scheme tournament: every compression scheme on every axis at once.
+
+The paper compares schemes one axis at a time (ratio in Fig. 1, speedup and
+error in Figs. 7–9, hardware in Table I).  The tournament study runs the
+full cross of registry schemes × benchmarks × MAGs through the simulator and
+ranks the schemes on all four axes together — geomean speedup, geomean raw
+compression ratio, worst-case application error and estimated hardware cost
+(:mod:`repro.hardware.costs`) — exporting per-cell rows plus a per-MAG
+Pareto frontier of the non-dominated schemes.
+
+Like Fig. 9, the grid couples the TSLC lossy threshold to the MAG (MAG/2),
+so it expands as one sub-spec per MAG; the purely lossless schemes ignore
+the threshold by job normalization and contribute one cell per MAG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.campaign.spec import (
+    KNOWN_SCHEMES,
+    CampaignSpec,
+    Job,
+    Overrides,
+    expand_specs,
+    overrides_to_config,
+)
+from repro.campaign.store import JobRecord
+from repro.compression.stats import geometric_mean
+from repro.hardware.costs import scheme_hardware_cost
+from repro.studies.base import Study, StudyResult
+from repro.studies.compression import FIG9_MAGS
+from repro.studies.registry import register_study
+from repro.studies.slc import SLCStudy, slc_study_from_records
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+
+
+def pareto_frontier(points: dict[str, tuple[float, ...]]) -> list[str]:
+    """Non-dominated keys under (speedup↑, ratio↑, error↓, area↓).
+
+    A point dominates another when it is at least as good on every axis and
+    strictly better on at least one; the frontier is every point no other
+    point dominates.  Insertion order of ``points`` is preserved.
+    """
+
+    def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+        no_worse = a[0] >= b[0] and a[1] >= b[1] and a[2] <= b[2] and a[3] <= b[3]
+        better = a[0] > b[0] or a[1] > b[1] or a[2] < b[2] or a[3] < b[3]
+        return no_worse and better
+
+    return [
+        key
+        for key, point in points.items()
+        if not any(dominates(other, point) for other in points.values())
+    ]
+
+
+def _finite(value: float, fallback: float = 0.0) -> float:
+    return value if math.isfinite(value) else fallback
+
+
+@register_study
+@dataclass
+class TournamentStudy(Study):
+    """All schemes × benchmarks × MAGs, ranked on four axes at once.
+
+    Per (MAG, benchmark, scheme) cell: speedup over the E2MC baseline, raw
+    compression ratio of the final stored state and application error.  Per
+    (MAG, scheme): the geomean speedup/ratio, the worst-case error, the
+    hardware cost estimate and whether the scheme sits on that MAG's Pareto
+    frontier.
+    """
+
+    name = "tournament"
+    title = "Tournament — ratio, error, speedup and hardware cost of all schemes"
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    schemes: tuple[str, ...] = KNOWN_SCHEMES
+    mags: tuple[int, ...] = FIG9_MAGS
+    scale: float | None = None
+    seed: int = 2019
+    compute_error: bool = True
+    config_overrides: Overrides = ()
+
+    def __post_init__(self) -> None:
+        self.schemes = tuple(s.upper() for s in self.schemes)
+        if "E2MC" not in self.schemes:
+            raise ValueError(
+                "schemes must include the E2MC baseline "
+                "(speedups are normalized to it)"
+            )
+
+    def _sub_spec(self, mag: int) -> CampaignSpec:
+        return CampaignSpec(
+            name="tournament",
+            workloads=tuple(self.workloads),
+            schemes=self.schemes,
+            lossy_thresholds=(mag // 2,),
+            mags=(mag,),
+            scales=(self.scale,),
+            seeds=(self.seed,),
+            compute_error=self.compute_error,
+            config_overrides=tuple(self.config_overrides),
+        )
+
+    def jobs(self) -> list[Job]:
+        return expand_specs([self._sub_spec(mag) for mag in self.mags])
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+
+    def _compression_ratio(self, result) -> float:
+        """Raw compression ratio of a run's final stored state."""
+        stored_bits = result.extra_metrics.get("stored_bits")
+        if not stored_bits or not result.stored_blocks:
+            return float("nan")
+        block_bits = overrides_to_config(self.config_overrides).block_size_bytes * 8
+        return result.stored_blocks * block_bits / stored_bits
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        rows: list[dict] = []
+        studies: dict[int, SLCStudy] = {}
+        frontier: dict[int, list[str]] = {}
+        costs = {scheme: scheme_hardware_cost(scheme) for scheme in self.schemes}
+
+        for mag in self.mags:
+            per_mag = [r for r in records if r.job.mag_bytes == mag]
+            study = slc_study_from_records(per_mag, list(self.workloads))
+            studies[mag] = study
+            per_scheme: dict[str, dict[str, list[float]]] = {}
+            for workload in study.workloads():
+                for scheme in study.schemes():
+                    result = study.results[workload][scheme]
+                    speedup = study.speedup(workload, scheme)
+                    ratio = self._compression_ratio(result)
+                    error = result.error_percent
+                    rows.append(
+                        {
+                            "mag_bytes": mag,
+                            "workload": workload,
+                            "scheme": scheme,
+                            "speedup": speedup,
+                            "compression_ratio": ratio,
+                            "error_percent": error,
+                            "pareto": None,
+                        }
+                    )
+                    bucket = per_scheme.setdefault(
+                        scheme, {"speedup": [], "ratio": [], "error": []}
+                    )
+                    bucket["speedup"].append(speedup)
+                    bucket["ratio"].append(_finite(ratio, 1.0))
+                    bucket["error"].append(_finite(error))
+
+            points: dict[str, tuple[float, ...]] = {}
+            gm_rows: list[dict] = []
+            for scheme, bucket in per_scheme.items():
+                cost = costs[scheme]
+                gm_speedup = geometric_mean(bucket["speedup"])
+                gm_ratio = geometric_mean(bucket["ratio"])
+                max_error = max(bucket["error"], default=0.0)
+                points[scheme] = (gm_speedup, gm_ratio, max_error, cost.area_mm2)
+                gm_rows.append(
+                    {
+                        "mag_bytes": mag,
+                        "workload": "GM",
+                        "scheme": scheme,
+                        "speedup": gm_speedup,
+                        "compression_ratio": gm_ratio,
+                        "error_percent": max_error,
+                        "area_mm2": cost.area_mm2,
+                        "power_mw": cost.power_mw,
+                        "pareto": False,
+                    }
+                )
+            frontier[mag] = pareto_frontier(points)
+            for row in gm_rows:
+                row["pareto"] = row["scheme"] in frontier[mag]
+            rows.extend(gm_rows)
+
+        return self.make_result(
+            rows, data={"studies": studies, "frontier": frontier, "costs": costs}
+        )
+
+    def format(self, result: StudyResult) -> str:
+        lines = [result.format(), ""]
+        for mag, winners in result.data["frontier"].items():
+            lines.append(
+                f"Pareto frontier @ MAG {mag} B "
+                "(speedup x ratio x error x area): " + ", ".join(winners)
+            )
+        return "\n".join(lines)

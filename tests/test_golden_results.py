@@ -26,7 +26,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.campaign.spec import BASELINE_SCHEME, SCHEME_VARIANTS, Job
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    LOSSLESS_SCHEMES,
+    SCHEME_VARIANTS,
+    Job,
+)
 from repro.campaign.worker import simulate_job
 from repro.workloads.registry import PAPER_WORKLOAD_ORDER
 
@@ -39,10 +44,20 @@ SEED = 2019
 
 SCHEMES = (BASELINE_SCHEME, *SCHEME_VARIANTS)
 MAGS = (16, 32, 64)
+#: representative slice for the classic lossless schemes (BDI/FPC/CPACK/BPC):
+#: one float-heavy, one integer-heavy and one mixed benchmark — full workload
+#: coverage for them would double the suite for schemes whose size analysis
+#: is already pinned exhaustively by tests/test_lossless_batch.py
+LOSSLESS_WORKLOADS = ("BS", "NN", "SRAD1")
 GRID = [
     (workload, scheme, mag)
     for workload in PAPER_WORKLOAD_ORDER
     for scheme in SCHEMES
+    for mag in MAGS
+] + [
+    (workload, scheme, mag)
+    for workload in LOSSLESS_WORKLOADS
+    for scheme in LOSSLESS_SCHEMES
     for mag in MAGS
 ]
 

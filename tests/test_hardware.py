@@ -2,12 +2,18 @@
 
 import pytest
 
+from repro.campaign.spec import KNOWN_SCHEMES
 from repro.hardware import (
     E2MC_REFERENCE,
     GTX580_REFERENCE,
     GateCount,
     GateLibrary,
     overhead_summary,
+    scheme_hardware_cost,
+    synthesize_bdi,
+    synthesize_bpc,
+    synthesize_cpack,
+    synthesize_fpc,
     synthesize_tslc_compressor,
     synthesize_tslc_decompressor,
     table1,
@@ -86,3 +92,64 @@ def test_extra_nodes_increase_area():
     assert optimized.area_mm2 > plain.area_mm2
     # ... but only slightly (the paper: TSLC is 5.6 % of E2MC in total)
     assert optimized.area_mm2 < plain.area_mm2 * 1.3
+
+
+# --------------------------------------------------------------------- #
+# per-scheme costs (the tournament's hardware axis)
+
+
+def test_every_campaign_scheme_has_a_cost():
+    for scheme in KNOWN_SCHEMES:
+        cost = scheme_hardware_cost(scheme)
+        assert cost.scheme == scheme
+        assert cost.area_mm2 > 0
+        assert cost.power_mw > 0
+        assert cost.gate_count > 0
+
+
+def test_scheme_cost_is_case_insensitive_and_rejects_unknown():
+    assert scheme_hardware_cost("bdi") == scheme_hardware_cost("BDI")
+    with pytest.raises(KeyError):
+        scheme_hardware_cost("gzip")
+    with pytest.raises(KeyError):
+        scheme_hardware_cost("TSLC-TURBO")
+
+
+def test_e2mc_cost_is_the_published_reference():
+    cost = scheme_hardware_cost("E2MC")
+    assert cost.area_mm2 == E2MC_REFERENCE.area_mm2
+    assert cost.power_mw == E2MC_REFERENCE.power_w * 1000.0
+
+
+def test_tslc_costs_order_simp_pred_opt():
+    """Each variant adds hardware: SIMP < PRED < OPT, all above bare E2MC."""
+    e2mc = scheme_hardware_cost("E2MC").area_mm2
+    simp = scheme_hardware_cost("TSLC-SIMP").area_mm2
+    pred = scheme_hardware_cost("TSLC-PRED").area_mm2
+    opt = scheme_hardware_cost("TSLC-OPT").area_mm2
+    assert e2mc < simp < pred < opt
+    # ... and the whole addition stays a few percent of E2MC (Section III-H)
+    assert opt < e2mc * 1.25
+
+
+def test_classic_schemes_cheaper_than_e2mc():
+    """BDI/FPC/C-Pack/BPC are simple datapaths — far below an entropy coder."""
+    e2mc = scheme_hardware_cost("E2MC")
+    for scheme in ("BDI", "FPC", "CPACK", "BPC"):
+        assert scheme_hardware_cost(scheme).area_mm2 < e2mc.area_mm2
+        assert scheme_hardware_cost(scheme).area_percent_of_e2mc() < 100.0
+
+
+def test_classic_synthesis_results_are_wellformed():
+    for synthesize, unit in (
+        (synthesize_bdi, "bdi"),
+        (synthesize_fpc, "fpc"),
+        (synthesize_cpack, "cpack"),
+        (synthesize_bpc, "bpc"),
+    ):
+        result = synthesize()
+        assert result.unit == unit
+        assert result.frequency_ghz == 1.0
+        assert result.area_mm2 == pytest.approx(result.gate_count * 1.0e-6)
+        # larger blocks mean wider datapaths
+        assert synthesize(block_size_bytes=256).gate_count > result.gate_count

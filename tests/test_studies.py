@@ -23,8 +23,10 @@ from repro.studies import (
     SLCSweepStudy,
     Table1Study,
     ThresholdAblationStudy,
+    TournamentStudy,
     available_studies,
     get_study,
+    pareto_frontier,
     run_slc_study,
     study_class,
 )
@@ -47,6 +49,7 @@ EXPECTED_STUDIES = {
     "response-surface",
     "seed-variance",
     "gpu-scaling",
+    "tournament",
 }
 
 
@@ -366,6 +369,16 @@ def test_cli_coerce_param_types():
         coerce_param(Fig7Study, "bogus", "1")
 
 
+def test_cli_coerce_param_fractions():
+    # None-default field (scale) and float-element tuple field both parse a/b
+    assert coerce_param(Fig7Study, "scale", "1/2048") == 1.0 / 2048.0
+    assert coerce_param(GPUScalingStudy, "bandwidth_scales", "1/2,2") == (0.5, 2.0)
+    with pytest.raises(ValueError, match="zero denominator"):
+        coerce_param(GPUScalingStudy, "bandwidth_scales", "1/0")
+    # a slash string that is not a fraction stays a string on None defaults
+    assert coerce_param(Fig7Study, "scale", "a/b") == "a/b"
+
+
 def test_cli_build_study():
     study = build_study("fig9", ["workloads=NN", "mags=32", "scale=0.001"])
     assert isinstance(study, Fig9Study)
@@ -422,3 +435,94 @@ def test_cli_study_run_unknown_study_and_knob(capsys):
 def test_cli_study_run_table1_no_store(capsys):
     assert cli_main(["study", "run", "table1", "--quiet"]) == 0
     assert "Table I" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# the tournament study
+
+
+def test_pareto_frontier_non_dominated_set():
+    # (speedup up, ratio up, error down, area down)
+    points = {
+        "a": (1.2, 2.0, 0.0, 0.10),  # frontier
+        "b": (1.2, 1.5, 0.0, 0.20),  # dominated by a
+        "c": (1.5, 1.8, 3.0, 0.05),  # frontier (fastest, cheapest)
+        "d": (1.0, 2.5, 0.0, 0.30),  # frontier (best ratio)
+        "e": (1.0, 2.5, 1.0, 0.30),  # dominated by d
+    }
+    assert pareto_frontier(points) == ["a", "c", "d"]
+    assert pareto_frontier({"only": (1.0, 1.0, 0.0, 0.1)}) == ["only"]
+    # two identical points dominate neither; both survive
+    twins = {"x": (1.0, 1.0, 0.0, 0.1), "y": (1.0, 1.0, 0.0, 0.1)}
+    assert pareto_frontier(twins) == ["x", "y"]
+
+
+def test_tournament_requires_baseline():
+    with pytest.raises(ValueError, match="E2MC baseline"):
+        TournamentStudy(schemes=("BDI", "FPC"))
+
+
+def test_tournament_jobs_dedupe_lossless_across_thresholds():
+    study = TournamentStudy(
+        workloads=WORKLOADS, schemes=("E2MC", "BDI"), mags=(16, 32), scale=TINY
+    )
+    jobs = study.jobs()
+    # lossless schemes pin threshold=0, so each (workload, scheme, mag) is
+    # exactly one cell despite the per-MAG coupled thresholds
+    assert len(jobs) == len(WORKLOADS) * 2 * 2
+    assert all(job.lossy_threshold_bytes == 0 for job in jobs)
+    assert all(not job.compute_error for job in jobs)
+
+
+def test_tournament_end_to_end(tmp_path):
+    schemes = ("E2MC", "BDI", "BPC", "TSLC-OPT")
+    study = TournamentStudy(
+        workloads=WORKLOADS,
+        schemes=schemes,
+        mags=(32,),
+        scale=TINY,
+        compute_error=False,
+    )
+    result = study.run(store=str(tmp_path / "store"))
+
+    per_cell = [r for r in result.rows if r["workload"] != "GM"]
+    gm = [r for r in result.rows if r["workload"] == "GM"]
+    # every scheme x workload cell present, plus one GM row per scheme
+    assert {(r["workload"], r["scheme"]) for r in per_cell} == {
+        (w, s) for w in WORKLOADS for s in schemes
+    }
+    assert {r["scheme"] for r in gm} == set(schemes)
+
+    for row in per_cell:
+        assert row["speedup"] > 0
+        assert row["compression_ratio"] >= 1.0 or math.isnan(row["compression_ratio"])
+    baseline = [r for r in per_cell if r["scheme"] == "E2MC"]
+    assert all(r["speedup"] == pytest.approx(1.0) for r in baseline)
+
+    # GM rows carry the hardware axes and the pareto verdict
+    for row in gm:
+        assert row["area_mm2"] > 0 and row["power_mw"] > 0
+        assert isinstance(row["pareto"], bool)
+    frontier = result.data["frontier"][32]
+    assert frontier == [r["scheme"] for r in gm if r["pareto"]]
+    assert frontier  # never empty: something is always non-dominated
+
+    # the formatted table names the frontier
+    assert "Pareto frontier @ MAG 32 B" in study.format(result)
+
+
+def test_cli_study_run_tournament(tmp_path, capsys):
+    csv_path = tmp_path / "tournament.csv"
+    assert cli_main([
+        "study", "export", "tournament",
+        "--set", "workloads=NN", "--set", "schemes=E2MC,CPACK",
+        "--set", "mags=32", "--set", "scale=1/2048",
+        "--set", "compute_error=false",
+        "--dir", str(tmp_path / "store"), "--quiet", "--csv", str(csv_path),
+    ]) == 0
+    with csv_path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert {(r["workload"], r["scheme"]) for r in rows} == {
+        ("NN", "E2MC"), ("NN", "CPACK"), ("GM", "E2MC"), ("GM", "CPACK"),
+    }
+    assert all(float(r["compression_ratio"]) > 1.0 for r in rows)
