@@ -53,6 +53,13 @@ def pytest_addoption(parser):
         "relaxed speedup floor (used by CI)",
     )
     parser.addoption(
+        "--distributed-quick",
+        action="store_true",
+        default=False,
+        help="distributed-campaign benchmark smoke mode: tiny grid, "
+        "loopback coordinator + thread workers (used by CI)",
+    )
+    parser.addoption(
         "--bench-record",
         action="store",
         default=None,
@@ -90,6 +97,12 @@ def codec_quick(request) -> bool:
 def tournament_quick(request) -> bool:
     """Whether the lossless-kernels microbenchmark runs in CI smoke mode."""
     return bool(request.config.getoption("--tournament-quick"))
+
+
+@pytest.fixture(scope="session")
+def distributed_quick(request) -> bool:
+    """Whether the distributed-campaign benchmark runs in CI smoke mode."""
+    return bool(request.config.getoption("--distributed-quick"))
 
 
 @pytest.fixture(scope="session")

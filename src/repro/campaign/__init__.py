@@ -7,9 +7,30 @@ processes by :func:`run_campaign`, and persisted in a :class:`ResultStore`
 keyed by job hash — so re-running a figure only simulates cells that have
 never been computed.  The ``repro`` CLI (``python -m repro``) drives the
 same engine from the command line.
+
+Campaigns also run distributed: :func:`serve_campaign` (CLI: ``repro
+campaign serve``) coordinates the same jobs over a lease-based work queue
+(:class:`LeaseQueue`) that remote :func:`run_worker` processes (``repro
+campaign worker``) drain, surviving worker death via lease expiry +
+idempotent re-execution, with per-worker quarantine and graceful fallback
+to the in-process pool.  :mod:`repro.campaign.faults` injects
+deterministic failures for the robustness test suite.
 """
 
+from repro.campaign import faults
 from repro.campaign.executor import CampaignResult, run_campaign, run_jobs
+from repro.campaign.queue import Lease, LeaseQueue, WorkerInfo
+from repro.campaign.remote import (
+    CoordinatorClient,
+    CoordinatorUnreachable,
+    WorkerSummary,
+    run_worker,
+)
+from repro.campaign.service import (
+    CampaignCoordinator,
+    CampaignService,
+    serve_campaign,
+)
 from repro.campaign.spec import (
     BASELINE_SCHEME,
     KNOWN_SCHEMES,
@@ -33,6 +54,17 @@ from repro.campaign.store import (
 from repro.campaign.worker import build_backend, execute_job, simulate_job
 
 __all__ = [
+    "faults",
+    "Lease",
+    "LeaseQueue",
+    "WorkerInfo",
+    "CampaignCoordinator",
+    "CampaignService",
+    "CoordinatorClient",
+    "CoordinatorUnreachable",
+    "WorkerSummary",
+    "serve_campaign",
+    "run_worker",
     "BASELINE_SCHEME",
     "KNOWN_SCHEMES",
     "LOSSLESS_SCHEMES",

@@ -3,6 +3,8 @@
 Subcommands::
 
     repro campaign run      expand a grid and simulate it (parallel, cached)
+    repro campaign serve    coordinate the grid over remote lease workers
+    repro campaign worker   join a coordinator and execute leased jobs
     repro campaign status   compare the stored spec against results on disk
     repro campaign export   flatten stored results to CSV
     repro campaign diff     compare two stores cell-by-cell (drift check)
@@ -34,7 +36,9 @@ import time
 from collections import deque
 
 from repro._version import __version__
-from repro.campaign.executor import run_campaign
+from repro.campaign.executor import CampaignResult, run_campaign
+from repro.campaign.remote import run_worker
+from repro.campaign.service import CampaignCoordinator
 from repro.campaign.spec import PAPER_SCHEMES, CampaignSpec
 from repro.campaign.store import STORE_BACKENDS, JobRecord, ResultStore, open_store
 from repro.obs import metrics, tracing
@@ -175,6 +179,47 @@ class ProgressReporter:
             _progress_log.info(line)
 
 
+def _summarize(outcome: CampaignResult, spec: CampaignSpec, store: ResultStore,
+               wall: str, args: argparse.Namespace) -> int:
+    """Shared ``run``/``serve`` epilogue: summary lines, metrics, exit code."""
+    if outcome.interrupted:
+        # Graceful Ctrl-C: everything that finished is already persisted;
+        # tell the user how to pick the campaign back up.
+        print(
+            f"campaign '{spec.name}' interrupted: "
+            f"{len(outcome.records)}/{outcome.n_total} cells in the store "
+            f"({outcome.n_cached} cached) after {wall} — re-run the same "
+            f"command to resume from {store.directory}"
+        )
+        return 130
+    print(
+        f"campaign '{spec.name}': {outcome.n_total} jobs — "
+        f"{outcome.n_cached} cached, {outcome.n_executed} executed, "
+        f"{outcome.n_failed} failed in {wall} ({store.directory})"
+    )
+    if outcome.queue_stats:
+        stats = outcome.queue_stats
+        print(
+            f"  distributed: {stats['leases_granted']} leases granted, "
+            f"{stats['leases_expired']} expired, {stats['retries']} re-leased, "
+            f"{stats['duplicates']} duplicate completions, "
+            f"{stats['workers_joined']} workers "
+            f"({stats['workers_quarantined']} quarantined)"
+        )
+    for record in outcome.failures():
+        tail = (record.error or "").strip().splitlines()[-1:]
+        print(f"  FAILED {record.job.label()}: {tail[0] if tail else '?'}")
+    if getattr(args, "metrics", False):
+        merged = metrics.merge(
+            metrics.snapshot(),
+            *(r.metrics for r in outcome.records.values() if r.metrics),
+        )
+        print("campaign metrics:")
+        print(metrics.format_metrics(merged))
+    finish_trace(args)
+    return 1 if (outcome.n_failed or outcome.n_missing) else 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``campaign run``: expand, simulate, persist, summarize."""
     try:
@@ -190,26 +235,76 @@ def cmd_run(args: argparse.Namespace) -> int:
     progress = None if args.quiet else ProgressReporter(workers=args.workers)
     with tracing.span("campaign.run", cat="campaign", campaign=spec.name):
         outcome = run_campaign(
-            spec, store=store, workers=args.workers, progress=progress
+            spec, store=store, workers=args.workers, progress=progress,
+            job_timeout=args.job_timeout,
         )
     wall = _format_duration(time.monotonic() - start)
-    print(
-        f"campaign '{spec.name}': {outcome.n_total} jobs — "
-        f"{outcome.n_cached} cached, {outcome.n_executed} executed, "
-        f"{outcome.n_failed} failed in {wall} ({store.directory})"
+    return _summarize(outcome, spec, store, wall, args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``campaign serve``: coordinate the grid over remote lease workers."""
+    try:
+        spec = _spec_from_args(args)
+        store = ResultStore(args.dir, args.store_backend)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        _log.error("error: %s", message)
+        return 2
+    store.save_spec(spec)
+    enable_observability(args)
+    start = time.monotonic()
+    progress = None if args.quiet else ProgressReporter()
+    coordinator = CampaignCoordinator(
+        spec.expand(),
+        spec=spec,
+        store=store,
+        host=args.host,
+        port=args.port,
+        lease_timeout_s=args.lease_timeout,
+        max_attempts=args.max_attempts,
+        quarantine_strikes=args.quarantine_strikes,
+        job_timeout=args.job_timeout,
+        grace_s=args.grace,
+        fallback_workers=args.fallback_workers,
+        progress=progress,
     )
-    for record in outcome.failures():
-        tail = (record.error or "").strip().splitlines()[-1:]
-        print(f"  FAILED {record.job.label()}: {tail[0] if tail else '?'}")
-    if args.metrics:
-        merged = metrics.merge(
-            metrics.snapshot(),
-            *(r.metrics for r in outcome.records.values() if r.metrics),
+    coordinator.start()
+    print(f"coordinator listening on {coordinator.url} "
+          f"— start workers with: repro campaign worker --url {coordinator.url}",
+          file=sys.stderr)
+    try:
+        with tracing.span("campaign.run", cat="campaign", campaign=spec.name):
+            outcome = coordinator.serve()
+    except KeyboardInterrupt:
+        coordinator.stop()
+        outcome = coordinator.outcome
+        outcome.interrupted = True
+    wall = _format_duration(time.monotonic() - start)
+    return _summarize(outcome, spec, store, wall, args)
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """``campaign worker``: join a coordinator and execute leased jobs."""
+    store = ResultStore(args.dir, args.store_backend) if args.dir else None
+    try:
+        summary = run_worker(
+            args.url,
+            worker_id=args.worker_id,
+            store=store,
+            poll_s=args.poll,
+            max_idle_s=args.max_idle,
         )
-        print("campaign metrics:")
-        print(metrics.format_metrics(merged))
-    finish_trace(args)
-    return 1 if outcome.n_failed else 0
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print(
+        f"worker {summary.worker_id} ({summary.reason}): "
+        f"{summary.executed} executed, {summary.failed} failed, "
+        f"{summary.duplicates} duplicate, "
+        f"{summary.transport_retries} transport retries"
+    )
+    return 0 if summary.reason in ("done", "idle", "coordinator gone") else 1
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -372,6 +467,11 @@ def cmd_diff(args: argparse.Namespace) -> int:
         f"diff: {common} common cells — {len(changed)} changed, "
         f"{len(only_a)} only in A, {len(only_b)} only in B"
     )
+    if args.allow_missing:
+        # Subset mode: a worker's local store only holds the cells that
+        # worker executed, so "missing elsewhere" is expected — the check
+        # is that nothing the stores *share* disagrees.
+        return 1 if changed else 0
     return 1 if (changed or only_a or only_b) else 0
 
 
@@ -422,53 +522,135 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser("campaign", help="run and inspect simulation sweeps")
     campaign_sub = campaign.add_subparsers(dest="subcommand", required=True)
 
+    def add_grid_options(parser: argparse.ArgumentParser) -> None:
+        """Grid axes + observability flags shared by ``run`` and ``serve``."""
+        parser.add_argument(
+            "--dir", required=True, help="campaign directory (spec + results)"
+        )
+        parser.add_argument("--name", default="campaign", help="campaign name")
+        parser.add_argument(
+            "--workloads",
+            default=",".join(PAPER_WORKLOAD_ORDER),
+            help="comma-separated benchmarks (default: all nine, paper order)",
+        )
+        parser.add_argument(
+            "--schemes",
+            default=",".join(PAPER_SCHEMES),
+            help="comma-separated schemes (default: E2MC + all TSLC variants)",
+        )
+        parser.add_argument(
+            "--thresholds", default="16",
+            help="comma-separated lossy thresholds in bytes",
+        )
+        parser.add_argument(
+            "--mags",
+            default="config",
+            help="comma-separated MAGs in bytes, or 'config' for the GPU default",
+        )
+        parser.add_argument(
+            "--scale", type=float, default=None,
+            help="workload input scale (default: native)",
+        )
+        parser.add_argument("--seeds", default="2019", help="comma-separated RNG seeds")
+        parser.add_argument(
+            "--no-error",
+            action="store_true",
+            help="skip re-running kernels on degraded inputs (timing-only sweep)",
+        )
+        parser.add_argument(
+            "--job-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-job wall-clock cap; a wedged job becomes a captured "
+            "error record instead of stalling the campaign (default: none)",
+        )
+        parser.add_argument(
+            "--quiet", action="store_true", help="suppress per-job progress"
+        )
+        parser.add_argument(
+            "--trace",
+            default=None,
+            metavar="OUT.json",
+            help="collect per-phase spans and write a Chrome trace-event file",
+        )
+        parser.add_argument(
+            "--metrics",
+            action="store_true",
+            help="collect counters/histograms per job and print the aggregate",
+        )
+        _add_store_backend(parser)
+
     run = campaign_sub.add_parser(
         "run", help="expand a parameter grid and simulate every missing cell"
     )
-    run.add_argument("--dir", required=True, help="campaign directory (spec + results)")
-    run.add_argument("--name", default="campaign", help="campaign name")
-    run.add_argument(
-        "--workloads",
-        default=",".join(PAPER_WORKLOAD_ORDER),
-        help="comma-separated benchmarks (default: all nine, paper order)",
-    )
-    run.add_argument(
-        "--schemes",
-        default=",".join(PAPER_SCHEMES),
-        help="comma-separated schemes (default: E2MC + all TSLC variants)",
-    )
-    run.add_argument(
-        "--thresholds", default="16", help="comma-separated lossy thresholds in bytes"
-    )
-    run.add_argument(
-        "--mags",
-        default="config",
-        help="comma-separated MAGs in bytes, or 'config' for the GPU default",
-    )
-    run.add_argument(
-        "--scale", type=float, default=None, help="workload input scale (default: native)"
-    )
-    run.add_argument("--seeds", default="2019", help="comma-separated RNG seeds")
+    add_grid_options(run)
     run.add_argument("--workers", type=int, default=1, help="worker process count")
-    run.add_argument(
-        "--no-error",
-        action="store_true",
-        help="skip re-running kernels on degraded inputs (timing-only sweep)",
-    )
-    run.add_argument("--quiet", action="store_true", help="suppress per-job progress")
-    run.add_argument(
-        "--trace",
-        default=None,
-        metavar="OUT.json",
-        help="collect per-phase spans and write a Chrome trace-event file",
-    )
-    run.add_argument(
-        "--metrics",
-        action="store_true",
-        help="collect counters/histograms per job and print the aggregate",
-    )
-    _add_store_backend(run)
     run.set_defaults(func=cmd_run)
+
+    serve = campaign_sub.add_parser(
+        "serve",
+        help="coordinate the grid as a lease-based work queue for remote "
+        "'campaign worker' processes",
+    )
+    add_grid_options(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks an ephemeral one (default: 8765)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="lease lifetime without a heartbeat before a job is re-queued",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="total attempts (expiries + failures) before a job is recorded "
+        "as failed",
+    )
+    serve.add_argument(
+        "--quarantine-strikes", type=int, default=3,
+        help="expired/failed jobs before a worker is quarantined",
+    )
+    serve.add_argument(
+        "--grace", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait without live workers before degrading to the "
+        "in-process pool",
+    )
+    serve.add_argument(
+        "--fallback-workers", type=int, default=1,
+        help="in-process pool size for the degraded path; 0 waits for remote "
+        "workers forever",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    worker = campaign_sub.add_parser(
+        "worker", help="join a 'campaign serve' coordinator and execute leased jobs"
+    )
+    worker.add_argument(
+        "--url", required=True, help="coordinator endpoint (http://host:port)"
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity (default: hostname-pid)",
+    )
+    worker.add_argument(
+        "--dir", default=None,
+        help="optional local store mirroring every record this worker "
+        "executed (checkable via 'campaign diff --allow-missing')",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="delay between lease polls while the queue is empty",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="exit after this long without work (default: stay until done)",
+    )
+    _add_store_backend(worker)
+    worker.set_defaults(func=cmd_worker)
 
     status = campaign_sub.add_parser(
         "status", help="compare the saved spec against results on disk"
@@ -493,6 +675,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("store_a", help="first store (campaign dir or .sqlite file)")
     diff.add_argument("store_b", help="second store (campaign dir or .sqlite file)")
+    diff.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="only count cells both stores hold (subset check, e.g. a "
+        "worker's local store vs the coordinator's)",
+    )
     _add_store_backend(diff)
     diff.set_defaults(func=cmd_diff)
 

@@ -1,0 +1,119 @@
+"""Deterministic fault injection for distributed-campaign robustness tests.
+
+A fault *site* is a named point in the code where something can be made to
+go wrong on purpose: the remote worker about to execute a leased job
+(``kill-worker-mid-job``), the coordinator about to acknowledge a completed
+job (``drop-response``), the worker heartbeat loop (``stall-heartbeat``),
+the JSONL store appending a record (``truncate-store-write``).  Each site
+calls :func:`fire` and acts only when it returns True, so production runs
+pay one dict lookup per site.
+
+Which invocation triggers is controlled by the ``REPRO_FAULT_SPEC``
+environment variable — a comma-separated list of ``site[:trigger]`` rules::
+
+    REPRO_FAULT_SPEC="kill-worker-mid-job"        # 1st invocation
+    REPRO_FAULT_SPEC="kill-worker-mid-job:2"      # exactly the 2nd
+    REPRO_FAULT_SPEC="drop-response:2+"           # the 2nd and every later one
+    REPRO_FAULT_SPEC="stall-heartbeat:*,drop-response:1"   # several rules
+
+The spec is read per process, so a test can arm one worker subprocess with
+a kill rule while its siblings run clean.  Invocation counting is the only
+state, which makes every injected failure deterministic and replayable —
+no random drops, no timing dependence.  Tests running in-process install an
+injector programmatically with :func:`activate`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "KILL_WORKER_MID_JOB",
+    "DROP_RESPONSE",
+    "STALL_HEARTBEAT",
+    "TRUNCATE_STORE_WRITE",
+    "ENV_VAR",
+    "FaultInjector",
+    "activate",
+    "active",
+    "fire",
+]
+
+#: the worker SIGKILLs itself right after leasing, before completing a job
+KILL_WORKER_MID_JOB = "kill-worker-mid-job"
+#: the coordinator refuses a ``/complete`` with a 503 instead of processing it
+DROP_RESPONSE = "drop-response"
+#: the worker's heartbeat thread goes permanently silent (lease will expire)
+STALL_HEARTBEAT = "stall-heartbeat"
+#: the JSONL store writes half a record with no newline (kill mid-append)
+TRUNCATE_STORE_WRITE = "truncate-store-write"
+
+#: environment variable holding the fault spec for a process
+ENV_VAR = "REPRO_FAULT_SPEC"
+
+
+class FaultInjector:
+    """Parsed fault rules plus per-site invocation counters.
+
+    ``spec`` is the ``REPRO_FAULT_SPEC`` syntax documented in the module
+    docstring.  An empty spec yields an injector that never fires.
+    """
+
+    def __init__(self, spec: str = "") -> None:
+        self._rules: dict[str, tuple[str, int]] = {}
+        self.counts: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+        for token in (t.strip() for t in spec.split(",")):
+            if not token:
+                continue
+            site, _, trigger = token.partition(":")
+            trigger = trigger or "1"
+            if trigger == "*":
+                rule = ("always", 0)
+            elif trigger.endswith("+"):
+                rule = ("from", int(trigger[:-1]))
+            else:
+                rule = ("at", int(trigger))
+            if rule[0] != "always" and rule[1] < 1:
+                raise ValueError(f"fault trigger must be >= 1 in {token!r}")
+            self._rules[site.strip()] = rule
+
+    def fire(self, site: str) -> bool:
+        """Count one invocation of ``site``; True when its rule triggers."""
+        rule = self._rules.get(site)
+        if rule is None:
+            return False
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        kind, nth = rule
+        triggered = (
+            kind == "always"
+            or (kind == "from" and count >= nth)
+            or (kind == "at" and count == nth)
+        )
+        if triggered:
+            self.fired[site] = self.fired.get(site, 0) + 1
+        return triggered
+
+
+_injector: FaultInjector | None = None
+
+
+def active() -> FaultInjector:
+    """The process's injector (lazily built from ``REPRO_FAULT_SPEC``)."""
+    global _injector
+    if _injector is None:
+        _injector = FaultInjector(os.environ.get(ENV_VAR, ""))
+    return _injector
+
+
+def activate(spec: str) -> FaultInjector:
+    """Install (and return) an injector programmatically — for tests."""
+    global _injector
+    _injector = FaultInjector(spec)
+    return _injector
+
+
+def fire(site: str) -> bool:
+    """Module-level shorthand for ``active().fire(site)``."""
+    return active().fire(site)

@@ -1,0 +1,303 @@
+"""``repro campaign worker`` — the remote half of a distributed campaign.
+
+A worker is one process on one host: it joins a coordinator
+(:mod:`repro.campaign.service`), leases jobs one at a time, executes them
+with the very same :func:`~repro.campaign.worker.execute_job` the
+in-process pool uses, and streams the record dicts back.  While a job
+runs, a daemon heartbeat thread renews the lease, so a slow-but-alive
+worker keeps its claim while a dead or hung one loses it after the lease
+window.
+
+Transport robustness lives in :class:`CoordinatorClient`: every call
+retries transient failures (connection refused, 5xx, torn responses) with
+capped exponential backoff plus deterministic per-worker jitter.  A
+coordinator that stays unreachable past the retry budget is treated as
+"campaign over" — the worker logs a summary and exits cleanly, which is
+what makes worker fleets elastic: they can be started before the
+coordinator, killed at will, and pointed at a finished campaign without
+any of it being an error.
+
+Fault-injection sites (:mod:`repro.campaign.faults`): the worker SIGKILLs
+itself mid-job under ``kill-worker-mid-job`` and silences its heartbeat
+under ``stall-heartbeat`` — the two worker-death modes the test suite
+drives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+import repro.obs as obs
+from repro.campaign import faults
+from repro.campaign.store import JobRecord, ResultStore
+from repro.campaign.worker import execute_job
+from repro.obs import metrics
+from repro.obs.log import get_logger
+
+_log = get_logger("campaign.worker")
+
+
+class CoordinatorUnreachable(RuntimeError):
+    """The coordinator stayed unreachable through the whole retry budget."""
+
+
+class CoordinatorClient:
+    """JSON-over-HTTP client with capped exponential backoff and jitter.
+
+    Args:
+        url: coordinator base URL (``http://host:port``).
+        timeout_s: per-request socket timeout.
+        max_tries: attempts per call before :class:`CoordinatorUnreachable`.
+        backoff_s: first retry delay; doubles per retry.
+        backoff_cap_s: upper bound on any single delay.
+        rng: jitter source; seeded per worker id by default, so backoff
+            sequences are reproducible and workers don't stampede in sync.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 10.0,
+        max_tries: int = 8,
+        backoff_s: float = 0.2,
+        backoff_cap_s: float = 5.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+        self.max_tries = int(max_tries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._rng = rng if rng is not None else random.Random()
+        self.transport_retries = 0
+
+    def call(self, path: str, payload: dict | None = None,
+             max_tries: int | None = None) -> dict:
+        """POST ``payload`` to ``path``; retries transient transport errors.
+
+        4xx responses are protocol errors and raise immediately; everything
+        else (refused connections, 5xx — including the injected
+        ``drop-response`` fault — and torn bodies) is transient and retried
+        with capped exponential backoff plus jitter.
+        """
+        tries = self.max_tries if max_tries is None else max_tries
+        body = json.dumps(payload or {}).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path, data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        last_error: Exception | None = None
+        for attempt in range(tries):
+            if attempt:
+                delay = min(self.backoff_cap_s,
+                            self.backoff_s * (2 ** (attempt - 1)))
+                delay *= 0.5 + self._rng.random()  # jitter in [0.5, 1.5)
+                self.transport_retries += 1
+                if metrics.enabled():
+                    metrics.inc("worker.transport_retries")
+                _log.debug("retrying %s in %.2fs (attempt %d/%d): %s",
+                           path, delay, attempt + 1, tries, last_error)
+                time.sleep(delay)
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout_s) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                if exc.code < 500:
+                    raise  # protocol bug, not a transient fault
+                last_error = exc
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                last_error = exc
+        raise CoordinatorUnreachable(
+            f"coordinator {self.url} unreachable after {tries} tries "
+            f"(last error: {last_error})"
+        )
+
+
+class _Heartbeat(threading.Thread):
+    """Renews the worker's leases while a job executes.
+
+    The ``stall-heartbeat`` fault silences it permanently — the worker
+    keeps executing, its lease expires, and the coordinator re-leases the
+    job elsewhere; the eventual duplicate completion is absorbed by the
+    queue's idempotency.
+    """
+
+    def __init__(self, client: CoordinatorClient, worker_id: str,
+                 period_s: float) -> None:
+        super().__init__(name=f"heartbeat-{worker_id}", daemon=True)
+        self._client = client
+        self._worker_id = worker_id
+        self._period_s = max(0.05, float(period_s))
+        # NB: must not be named _stop — Thread.join() calls self._stop()
+        self._halt = threading.Event()
+        #: set while the worker holds leases worth renewing
+        self.active = threading.Event()
+        self.stalled = False
+        self.quarantined = False
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._period_s):
+            if faults.fire(faults.STALL_HEARTBEAT):
+                _log.warning("fault: heartbeat stalled permanently")
+                self.stalled = True
+            if self.stalled or not self.active.is_set():
+                continue
+            try:
+                reply = self._client.call(
+                    "/heartbeat", {"worker_id": self._worker_id}, max_tries=2
+                )
+                if reply.get("quarantined"):
+                    self.quarantined = True
+            except (CoordinatorUnreachable, urllib.error.HTTPError):
+                # the main loop will hit the same wall and wind down
+                pass
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker process did over its lifetime."""
+
+    worker_id: str
+    executed: int = 0
+    failed: int = 0
+    leased: int = 0
+    duplicates: int = 0
+    transport_retries: int = 0
+    reason: str = "done"
+    #: hashes of the jobs this worker completed (accepted or duplicate)
+    job_hashes: list = field(default_factory=list)
+
+
+def run_worker(
+    url: str,
+    worker_id: str | None = None,
+    store: ResultStore | None = None,
+    poll_s: float = 0.5,
+    max_idle_s: float | None = None,
+    client: CoordinatorClient | None = None,
+) -> WorkerSummary:
+    """Join a coordinator and execute leased jobs until the campaign is done.
+
+    Args:
+        url: coordinator endpoint (``http://host:port``).
+        worker_id: stable identity; defaults to ``hostname-pid``.
+        store: optional *local* result store every executed record is also
+            written to — ``campaign diff --allow-missing`` can then check a
+            worker's view for drift against the coordinator's.
+        poll_s: delay between lease polls when the queue is empty.
+        max_idle_s: exit after this long without being granted a job
+            (None: stay until the coordinator reports the campaign done).
+        client: injectable transport (tests).
+    """
+    worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    client = client or CoordinatorClient(url, rng=random.Random(worker_id))
+    summary = WorkerSummary(worker_id=worker_id)
+    try:
+        joined = client.call("/join", {
+            "worker_id": worker_id,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+        })
+    except CoordinatorUnreachable as exc:
+        _log.error("could not join coordinator: %s", exc)
+        summary.reason = "unreachable"
+        return summary
+    # mirror the coordinator's tracing/metrics switches: worker spans and
+    # metric snapshots then ride back on every record
+    obs.apply_state(joined.get("obs") or {})
+    heartbeat = _Heartbeat(client, worker_id,
+                           joined.get("heartbeat_s",
+                                      joined.get("lease_timeout_s", 30.0) / 3.0))
+    heartbeat.start()
+    idle_since: float | None = None
+    _log.info("worker %s joined %s", worker_id, client.url)
+    try:
+        while True:
+            if heartbeat.quarantined:
+                summary.reason = "quarantined"
+                break
+            try:
+                reply = client.call("/lease",
+                                    {"worker_id": worker_id, "max_jobs": 1})
+            except CoordinatorUnreachable:
+                # campaign over (coordinator exited) or network gone — both
+                # mean there is nothing useful left to do here
+                summary.reason = "coordinator gone"
+                break
+            if reply.get("quarantined"):
+                _log.warning("worker %s quarantined by coordinator, exiting",
+                             worker_id)
+                summary.reason = "quarantined"
+                break
+            if reply.get("state") == "done":
+                break
+            jobs = reply.get("jobs") or []
+            if not jobs:
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if max_idle_s is not None and now - idle_since >= max_idle_s:
+                    summary.reason = "idle"
+                    break
+                time.sleep(poll_s)
+                continue
+            idle_since = None
+            for job_dict in jobs:
+                summary.leased += 1
+                heartbeat.active.set()
+                if faults.fire(faults.KILL_WORKER_MID_JOB):
+                    # the harness's worker-death fault: die exactly the way
+                    # an OOM-killed or power-cycled host does — no cleanup,
+                    # no goodbye, lease left dangling
+                    _log.warning("fault: SIGKILLing worker %s mid-job",
+                                 worker_id)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                record = execute_job(job_dict)
+                if store is not None:
+                    store.put(JobRecord.from_dict(record))
+                try:
+                    ack = client.call("/complete", {
+                        "worker_id": worker_id, "record": record,
+                    })
+                except CoordinatorUnreachable:
+                    summary.reason = "coordinator gone"
+                    heartbeat.active.clear()
+                    raise _WindDown
+                summary.executed += 1
+                summary.job_hashes.append(record["job_hash"])
+                if record.get("status") != "ok":
+                    summary.failed += 1
+                if not ack.get("accepted") and ack.get("final"):
+                    summary.duplicates += 1
+                heartbeat.active.clear()
+    except _WindDown:
+        pass
+    finally:
+        heartbeat.stop()
+        summary.transport_retries = client.transport_retries
+        try:
+            client.call("/leave", {"worker_id": worker_id}, max_tries=1)
+        except Exception:
+            pass  # best-effort goodbye
+    _log.info(
+        "worker %s exiting (%s): %d executed, %d failed, %d duplicate, "
+        "%d transport retries", worker_id, summary.reason, summary.executed,
+        summary.failed, summary.duplicates, summary.transport_retries,
+    )
+    return summary
+
+
+class _WindDown(Exception):
+    """Internal: unwind the nested job loop when the coordinator vanishes."""

@@ -32,8 +32,12 @@ import sqlite3
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.campaign import faults
 from repro.campaign.spec import CampaignSpec, Job
 from repro.gpu.simulator import SimulationResult
+from repro.obs.log import get_logger
+
+_log = get_logger("campaign.store")
 
 #: path suffixes that select the SQLite backend without an explicit ``backend=``
 SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
@@ -261,23 +265,40 @@ class JSONLResultStore(ResultStore):
         self.directory.mkdir(parents=True, exist_ok=True)
         self.results_path = self.directory / self.RESULTS_FILE
         self._index: dict[str, JobRecord] = {}
+        #: lines that failed to parse on load (torn writes, foreign junk);
+        #: they survive on disk until :meth:`compact` rewrites the file
+        self.corrupt_lines = 0
+        #: True when the file ends mid-record (writer killed mid-append);
+        #: the next :meth:`put` then starts on a fresh line so the partial
+        #: record cannot corrupt the one being written
+        self._needs_newline = False
         self._load()
 
     def _load(self) -> None:
         if not self.results_path.exists():
             return
+        raw_line = ""
         with self.results_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+            for lineno, raw_line in enumerate(handle, 1):
+                line = raw_line.strip()
                 if not line:
                     continue
                 try:
                     data = json.loads(line)
                     record = JobRecord.from_dict(data)
                 except Exception:
-                    # torn trailing write or foreign line — skip, don't die
+                    # A worker killed mid-append leaves a truncated final
+                    # line; a partial record is a casualty, not a disaster —
+                    # tolerate it, say so, and let compact() drop it.
+                    self.corrupt_lines += 1
+                    _log.warning(
+                        "%s:%d: skipping unreadable record (%d bytes, "
+                        "truncated write?) — 'campaign compact' will drop it",
+                        self.results_path, lineno, len(line),
+                    )
                     continue
                 self._index[record.job.content_hash] = record
+        self._needs_newline = bool(raw_line) and not raw_line.endswith("\n")
 
     def __len__(self) -> int:
         return len(self._index)
@@ -292,8 +313,23 @@ class JSONLResultStore(ResultStore):
         return list(self._index.values())
 
     def put(self, record: JobRecord) -> None:
+        payload = json.dumps(record.to_dict())
         with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record.to_dict()) + "\n")
+            if self._needs_newline:
+                # heal a torn trailing write: without this, appending would
+                # glue the new record onto the partial line and lose both
+                handle.write("\n")
+                self._needs_newline = False
+            if faults.fire(faults.TRUNCATE_STORE_WRITE):
+                # fault injection: die mid-append — half the payload, no
+                # newline, nothing indexed (the record is simply lost)
+                handle.write(payload[: max(1, len(payload) // 2)])
+                self._needs_newline = True
+                self.corrupt_lines += 1
+                _log.warning("fault: truncated store write for %s",
+                             record.job.label())
+                return
+            handle.write(payload + "\n")
         self._index[record.job.content_hash] = record
 
     def compact(self) -> tuple[int, int]:
@@ -302,7 +338,8 @@ class JSONLResultStore(ResultStore):
         The in-memory index is already last-write-wins, but the append-only
         file grows by one line per re-run; compaction rewrites it from the
         index (atomically, via a temp file + rename) and reports how many
-        stale lines were dropped.
+        stale lines were dropped — a count that includes any unreadable
+        partial lines left behind by writers killed mid-append.
         """
         stale = 0
         if self.results_path.exists():
@@ -314,6 +351,8 @@ class JSONLResultStore(ResultStore):
             for record in self._index.values():
                 handle.write(json.dumps(record.to_dict()) + "\n")
         os.replace(tmp_path, self.results_path)
+        self.corrupt_lines = 0
+        self._needs_newline = False
         return len(self._index), max(0, stale)
 
 

@@ -321,3 +321,75 @@ def test_progress_reporter_reports_cache_hits_and_wall_time():
     assert "avg 4.00s/job" in lines[1] and "ETA 4s" in lines[1]
     assert "1 cached" in lines[1] and "20s elapsed" in lines[1]
     assert reporter.n_cached == 1
+
+
+# --------------------------------------------------------------------- #
+# JSONL torn-write tolerance (a worker killed mid-append)
+
+
+def test_jsonl_tolerates_truncated_final_line(tmp_path, caplog, monkeypatch):
+    import logging
+
+    # setup_logging() (run by any earlier CLI test) disables propagation on
+    # the repro logger; caplog needs it back on to observe the warning
+    monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+    store = ResultStore(tmp_path / "camp")
+    store.put(_error_record(1))
+    store.put(_error_record(2))
+    text = store.results_path.read_text(encoding="utf-8")
+    lines = text.splitlines(keepends=True)
+    # tear the final line in half and drop its newline: the signature a
+    # SIGKILLed writer leaves behind
+    store.results_path.write_text(
+        lines[0] + lines[1][: len(lines[1]) // 2], encoding="utf-8")
+
+    with caplog.at_level(logging.WARNING, logger="repro.campaign.store"):
+        reopened = ResultStore(tmp_path / "camp")
+    assert len(reopened) == 1  # the torn record is a casualty, not a crash
+    assert reopened.corrupt_lines == 1
+    assert any("truncated write" in message for message in caplog.messages)
+
+    # the next put heals the tail: it must not glue onto the partial line
+    reopened.put(_error_record(3))
+    again = ResultStore(tmp_path / "camp")
+    assert len(again) == 2
+    assert again.corrupt_lines == 1  # the torn line is still on disk
+
+    # compact drops the partial line for good
+    kept, _ = again.compact()
+    assert kept == 2
+    final = ResultStore(tmp_path / "camp")
+    assert len(final) == 2 and final.corrupt_lines == 0
+
+
+def test_jsonl_truncate_store_write_fault(tmp_path):
+    from repro.campaign import faults
+
+    store = ResultStore(tmp_path / "camp")
+    store.put(_error_record(1))
+    faults.activate(f"{faults.TRUNCATE_STORE_WRITE}:1")
+    try:
+        store.put(_error_record(2))  # dies mid-append: half a line, no index
+    finally:
+        faults.activate("")
+    assert len(store) == 1  # the lost record is not pretended into the index
+    reopened = ResultStore(tmp_path / "camp")
+    assert len(reopened) == 1 and reopened.corrupt_lines == 1
+    # both the faulted store object and a reopened one heal on the next put
+    store.put(_error_record(3))
+    assert len(ResultStore(tmp_path / "camp")) == 2
+
+
+def test_cli_diff_allow_missing_subset(tmp_path, capsys, sample_record):
+    """--allow-missing: a worker-local store holding a strict subset of the
+    coordinator's cells is drift-free as long as shared cells agree."""
+    full = [sample_record, _error_record()]
+    _populated_store(tmp_path / "coordinator", full)
+    _populated_store(tmp_path / "worker", [sample_record])
+    strict = cli_main(["campaign", "diff",
+                       str(tmp_path / "worker"), str(tmp_path / "coordinator")])
+    assert strict == 1  # the missing cell is drift in strict mode
+    relaxed = cli_main(["campaign", "diff", "--allow-missing",
+                        str(tmp_path / "worker"), str(tmp_path / "coordinator")])
+    assert relaxed == 0
+    capsys.readouterr()
