@@ -60,6 +60,13 @@ def pytest_addoption(parser):
         "loopback coordinator + thread workers (used by CI)",
     )
     parser.addoption(
+        "--fidelity-quick",
+        action="store_true",
+        default=False,
+        help="fidelity metric-kernel benchmark smoke mode: smaller arrays, "
+        "relaxed throughput floor (used by CI)",
+    )
+    parser.addoption(
         "--bench-record",
         action="store",
         default=None,
@@ -103,6 +110,12 @@ def tournament_quick(request) -> bool:
 def distributed_quick(request) -> bool:
     """Whether the distributed-campaign benchmark runs in CI smoke mode."""
     return bool(request.config.getoption("--distributed-quick"))
+
+
+@pytest.fixture(scope="session")
+def fidelity_quick(request) -> bool:
+    """Whether the fidelity metric-kernel benchmark runs in CI smoke mode."""
+    return bool(request.config.getoption("--fidelity-quick"))
 
 
 @pytest.fixture(scope="session")

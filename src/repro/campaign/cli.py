@@ -490,6 +490,98 @@ def cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """``trace export``: capture a registry workload into an interchange file."""
+    from repro.workloads.registry import get_workload
+    from repro.workloads.traceio import capture_trace, save_trace
+
+    kwargs: dict = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    try:
+        workload = get_workload(args.workload, **kwargs)
+    except KeyError as exc:
+        _log.error("error: %s", exc.args[0] if exc.args else exc)
+        return 2
+    bundle = capture_trace(workload)
+    path = save_trace(args.out, bundle)
+    accesses = len(bundle.trace)
+    print(
+        f"captured {bundle.name}: {len(bundle.regions)} regions, "
+        f"{accesses} trace entries @ {bundle.block_size_bytes} B blocks "
+        f"-> {path}"
+    )
+    return 0
+
+
+def cmd_trace_ingest(args: argparse.Namespace) -> int:
+    """``trace ingest``: replay an interchange file through the simulator."""
+    from repro.campaign.worker import build_backend
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.simulator import GPUSimulator
+    from repro.workloads.traceio import load_trace
+
+    try:
+        workload = load_trace(args.path, seed=args.seed)
+    except (FileNotFoundError, ValueError) as exc:
+        _log.error("error: %s", exc)
+        return 2
+    config = GPUConfig()
+    try:
+        backend = build_backend(
+            args.scheme.upper(),
+            config,
+            lossy_threshold_bytes=args.threshold,
+            mag_bytes=args.mag,
+        )
+    except KeyError as exc:
+        _log.error("error: %s", exc.args[0] if exc.args else exc)
+        return 2
+    simulator = GPUSimulator(config=config, payload_digest=True)
+    result = simulator.run(workload, backend, compute_error=not args.no_error)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"replayed {workload.name} under {args.scheme.upper()}:")
+    print(f"  exec_time_s    {result.exec_time_s:.6f}")
+    print(f"  total_bursts   {result.total_bursts}")
+    print(f"  dram_bytes     {result.dram_bytes}")
+    print(f"  l2_hit_rate    {result.l2_hit_rate:.4f}")
+    print(f"  stored_blocks  {result.stored_blocks}")
+    print(f"  lossy_blocks   {result.lossy_blocks}")
+    for key in sorted(result.extra_metrics):
+        value = result.extra_metrics[key]
+        if isinstance(value, float):
+            print(f"  {key:<14} {value:.6g}")
+        else:
+            print(f"  {key:<14} {value}")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    """``trace info``: describe an interchange file without simulating."""
+    from repro.workloads.traceio import load_bundle
+
+    try:
+        bundle = load_bundle(args.path)
+    except (FileNotFoundError, ValueError) as exc:
+        _log.error("error: %s", exc)
+        return 2
+    print(f"{bundle.name}: block size {bundle.block_size_bytes} B, "
+          f"{len(bundle.trace)} trace entries")
+    for region in bundle.regions:
+        flags = []
+        if region.approximable:
+            flags.append("approximable")
+        flags.append("output" if region.is_output else "input")
+        print(
+            f"  {region.name}: {region.array.dtype} "
+            f"{'x'.join(str(d) for d in region.array.shape)} "
+            f"({', '.join(flags)})"
+        )
+    return 0
+
+
 def cmd_version(args: argparse.Namespace) -> int:
     """``version``: print the package version."""
     print(__version__)
@@ -690,6 +782,63 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--dir", required=True, help="campaign directory")
     _add_store_backend(compact)
     compact.set_defaults(func=cmd_compact)
+
+    trace = sub.add_parser(
+        "trace", help="export, inspect and replay address/data trace files"
+    )
+    trace_sub = trace.add_subparsers(dest="subcommand", required=True)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="capture a registry workload into a .npz interchange file"
+    )
+    trace_export.add_argument(
+        "--workload", required=True, help="registry workload to capture"
+    )
+    trace_export.add_argument(
+        "--scale", type=float, default=None,
+        help="workload input scale (default: native)",
+    )
+    trace_export.add_argument("--seed", type=int, default=2019, help="RNG seed")
+    trace_export.add_argument(
+        "--out", required=True, help="output path (.npz appended when missing)"
+    )
+    trace_export.set_defaults(func=cmd_trace_export)
+
+    trace_ingest = trace_sub.add_parser(
+        "ingest",
+        help="replay an interchange file through the vectorized engine",
+    )
+    trace_ingest.add_argument("path", help="trace interchange file (.npz)")
+    trace_ingest.add_argument(
+        "--scheme", default="TSLC-OPT",
+        help="compression scheme to replay under (default: TSLC-OPT)",
+    )
+    trace_ingest.add_argument(
+        "--mag", type=int, default=None,
+        help="memory access granularity in bytes (default: GPU config)",
+    )
+    trace_ingest.add_argument(
+        "--threshold", type=int, default=16,
+        help="SLC lossy threshold in bytes (default: 16)",
+    )
+    trace_ingest.add_argument(
+        "--seed", type=int, default=2019, help="RNG seed (degradation path)"
+    )
+    trace_ingest.add_argument(
+        "--no-error",
+        action="store_true",
+        help="skip the degraded-data pass (timing-only replay)",
+    )
+    trace_ingest.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
+    trace_ingest.set_defaults(func=cmd_trace_ingest)
+
+    trace_info = trace_sub.add_parser(
+        "info", help="describe an interchange file without simulating"
+    )
+    trace_info.add_argument("path", help="trace interchange file (.npz)")
+    trace_info.set_defaults(func=cmd_trace_info)
 
     add_study_parser(sub)
     add_bench_parser(sub)

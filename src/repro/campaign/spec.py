@@ -18,7 +18,20 @@ from typing import Mapping
 
 from repro.core.config import SLCVariant
 from repro.gpu.config import GPUConfig, LatencyConfig
-from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+from repro.workloads.registry import (
+    EXTENDED_WORKLOAD_ORDER,
+    PAPER_WORKLOAD_ORDER,
+    available_workloads,
+)
+
+#: the paper's nine benchmarks — the default grid of every paper study
+PAPER_WORKLOADS = PAPER_WORKLOAD_ORDER
+
+#: the extended families beyond the paper (scientific fields, DNN tensors)
+EXTENDED_WORKLOADS = EXTENDED_WORKLOAD_ORDER
+
+#: every built-in workload: paper taxonomy first, then the extensions
+ALL_WORKLOADS = (*PAPER_WORKLOADS, *EXTENDED_WORKLOADS)
 
 #: scheme label of the E2MC lossless baseline
 BASELINE_SCHEME = "E2MC"
@@ -190,12 +203,15 @@ class CampaignSpec:
     name: str = "campaign"
 
     def __post_init__(self) -> None:
-        known = {w.upper() for w in PAPER_WORKLOAD_ORDER}
+        # Validate against the live registry, not a hardcoded list, so the
+        # extended families and user-registered workloads (plugins,
+        # ingested traces) are first-class grid axes.
+        known = {w.upper() for w in available_workloads()}
         for workload in self.workloads:
             if workload.upper() not in known:
                 raise KeyError(
                     f"unknown workload {workload!r}; "
-                    f"available: {', '.join(PAPER_WORKLOAD_ORDER)}"
+                    f"available: {', '.join(available_workloads())}"
                 )
         for scheme in self.schemes:
             if scheme.upper() not in KNOWN_SCHEMES:

@@ -21,6 +21,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.energy import EnergyBreakdown, EnergyModel
 from repro.gpu.memory_controller import MemoryController
 from repro.gpu.sm import SMCluster
+from repro.metrics.fidelity import fidelity_summary
 from repro.obs import metrics
 from repro.obs.tracing import span
 from repro.replay.engine import replay_trace
@@ -310,6 +311,7 @@ class GPUSimulator:
             )
 
         error_percent = 0.0
+        fidelity: dict[str, float] = {}
         if compute_error:
             with span("sim.error", cat="sim", workload=workload.name):
                 degraded = self._degraded_inputs(
@@ -317,9 +319,11 @@ class GPUSimulator:
                 )
                 approx_outputs = workload.run(degraded)
                 error_percent = workload.error(exact_outputs, approx_outputs)
+                fidelity = self._region_fidelity(input_regions, degraded)
 
         return self._assemble_result(
-            workload, backend, all_regions, controllers, l2, error_percent
+            workload, backend, all_regions, controllers, l2, error_percent,
+            fidelity=fidelity,
         )
 
     # ------------------------------------------------------------------ #
@@ -394,6 +398,29 @@ class GPUSimulator:
             )
         return degraded
 
+    @staticmethod
+    def _region_fidelity(
+        input_regions: dict[str, Region],
+        degraded: dict[str, np.ndarray],
+    ) -> dict[str, float]:
+        """Statistical fidelity panel over the degraded approximable inputs.
+
+        Compares what the lossy path stored against the exact data, region
+        by region, and keeps the worst case (min Pearson, max KS/IQR) —
+        the data-level complement of the output-level application error,
+        computed for every workload including ingested traces whose kernel
+        is not re-runnable.  Non-approximable regions are exempt from the
+        lossy path by construction and excluded.
+        """
+        exact = {
+            name: region.array
+            for name, region in input_regions.items()
+            if region.approximable
+        }
+        if not exact:
+            return {}
+        return fidelity_summary(exact, {name: degraded[name] for name in exact})
+
     def _assemble_result(
         self,
         workload: Workload,
@@ -402,6 +429,7 @@ class GPUSimulator:
         controllers: list[MemoryController],
         l2: SetAssociativeCache,
         error_percent: float,
+        fidelity: dict[str, float] | None = None,
     ) -> SimulationResult:
         read_bursts = sum(c.stats.read_bursts for c in controllers)
         write_bursts = sum(c.stats.write_bursts for c in controllers)
@@ -459,6 +487,8 @@ class GPUSimulator:
                 for _, stored in controller.stored_items()
             ),
         }
+        if fidelity:
+            extra_metrics.update(fidelity)
         if self.payload_digest:
             extra_metrics["payload_sha256"] = self._payload_digest(controllers)
 

@@ -219,6 +219,34 @@ class MemoryTrace:
             )
         )
 
+    def add_blocks(
+        self,
+        region: str,
+        block_indices,
+        access_type: AccessType = AccessType.READ,
+    ) -> None:
+        """Append an explicit sequence of single-count accesses to one region.
+
+        The array-backed sibling of :meth:`add_stream` for callers that
+        already hold the block indices — trace ingestion
+        (:mod:`repro.workloads.traceio`) rebuilds captured traces through
+        it without materializing per-access objects.
+        """
+        indices = np.ascontiguousarray(np.asarray(block_indices, dtype=np.int64))
+        if indices.ndim != 1:
+            raise ValueError("block_indices must be one-dimensional")
+        if indices.size == 0:
+            return
+        if int(indices.min()) < 0:
+            raise ValueError("block indices must be non-negative")
+        self._segments.append(
+            _StreamSegment(
+                region=region,
+                block_indices=indices,
+                is_write=access_type is AccessType.WRITE,
+            )
+        )
+
     @property
     def total_accesses(self) -> int:
         """Total number of accesses including repeat counts."""

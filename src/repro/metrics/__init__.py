@@ -6,6 +6,13 @@ from repro.metrics.error import (
     miss_rate_percent,
     nrmse_percent,
 )
+from repro.metrics.fidelity import (
+    fidelity_panel,
+    fidelity_summary,
+    iqr_normalized_errors,
+    ks_statistic,
+    pearson_correlation,
+)
 from repro.metrics.performance import (
     bandwidth_reduction_percent,
     edp_reduction_percent,
@@ -20,6 +27,11 @@ __all__ = [
     "nrmse_percent",
     "image_diff_percent",
     "miss_rate_percent",
+    "pearson_correlation",
+    "ks_statistic",
+    "iqr_normalized_errors",
+    "fidelity_panel",
+    "fidelity_summary",
     "speedup",
     "normalized_metric",
     "bandwidth_reduction_percent",

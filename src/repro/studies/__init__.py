@@ -20,6 +20,7 @@ from repro.studies.compression import (
     effective_ratio_by_mag,
     workload_blocks,
 )
+from repro.studies.fidelity import FidelityStudy
 from repro.studies.hardware import Table1Study
 from repro.studies.performance import (
     Fig7Row,
@@ -68,6 +69,7 @@ __all__ = [
     "ResponseSurfaceStudy",
     "SeedVarianceStudy",
     "GPUScalingStudy",
+    "FidelityStudy",
     "TournamentStudy",
     "pareto_frontier",
     "effective_ratio_by_mag",

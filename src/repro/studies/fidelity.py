@@ -1,0 +1,179 @@
+"""The fidelity study: the statistical-fidelity panel over every family.
+
+Runs schemes × workload families × MAGs through the campaign engine (the
+Fig. 9 coupling: lossy threshold = MAG/2) with error computation on, and
+exports one row per cell carrying the paper's application error *and* the
+statistical fidelity panel — Pearson correlation, two-sample KS statistic
+and IQR-normalized mean/max error of the degraded approximable data
+(:mod:`repro.metrics.fidelity`) — plus the speedup over the E2MC baseline.
+The default workload set is every registry family: the nine paper kernels
+(``family=paper``) and the extended WEATHER/DNNACT families.
+
+Lossless schemes store the data bit-exactly by construction (job
+normalization even skips their error pass), so their panel is synthesized
+as perfect fidelity: Pearson 1, KS 0, IQR errors 0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.campaign.spec import (
+    ALL_WORKLOADS,
+    BASELINE_SCHEME,
+    LOSSLESS_SCHEMES,
+    PAPER_SCHEMES,
+    CampaignSpec,
+    Job,
+    Overrides,
+    expand_specs,
+)
+from repro.campaign.store import JobRecord
+from repro.compression.stats import geometric_mean
+from repro.studies.base import Study, StudyResult
+from repro.studies.compression import FIG9_MAGS
+from repro.studies.registry import register_study
+from repro.studies.slc import slc_study_from_records
+from repro.workloads.registry import workload_family
+
+#: extra_metrics keys of the per-run fidelity panel, in export order
+FIDELITY_KEYS = (
+    "fidelity_pearson",
+    "fidelity_ks",
+    "fidelity_iqr_mean",
+    "fidelity_iqr_max",
+)
+
+#: the panel of an undamaged (lossless) run
+PERFECT_FIDELITY = {
+    "fidelity_pearson": 1.0,
+    "fidelity_ks": 0.0,
+    "fidelity_iqr_mean": 0.0,
+    "fidelity_iqr_max": 0.0,
+}
+
+
+def _is_lossless(scheme: str) -> bool:
+    return scheme == BASELINE_SCHEME or scheme in LOSSLESS_SCHEMES
+
+
+@register_study
+@dataclass
+class FidelityStudy(Study):
+    """Schemes × families × MAGs with the full fidelity metric panel."""
+
+    name = "fidelity"
+    title = "Fidelity — Pearson / KS / IQR panel over all workload families"
+
+    workloads: tuple[str, ...] = ALL_WORKLOADS
+    schemes: tuple[str, ...] = PAPER_SCHEMES
+    mags: tuple[int, ...] = FIG9_MAGS
+    scale: float | None = None
+    seed: int = 2019
+    config_overrides: Overrides = ()
+
+    def __post_init__(self) -> None:
+        self.schemes = tuple(s.upper() for s in self.schemes)
+        if BASELINE_SCHEME not in self.schemes:
+            raise ValueError(
+                "schemes must include the E2MC baseline "
+                "(speedups are normalized to it)"
+            )
+
+    def _sub_spec(self, mag: int) -> CampaignSpec:
+        # Fig. 9 coupling: the lossy threshold scales with the MAG.  Error
+        # computation stays on — the fidelity panel rides the degraded-input
+        # pass; job normalization turns it off for the lossless cells.
+        return CampaignSpec(
+            name="fidelity",
+            workloads=tuple(self.workloads),
+            schemes=self.schemes,
+            lossy_thresholds=(mag // 2,),
+            mags=(mag,),
+            scales=(self.scale,),
+            seeds=(self.seed,),
+            compute_error=True,
+            config_overrides=tuple(self.config_overrides),
+        )
+
+    def jobs(self) -> list[Job]:
+        return expand_specs([self._sub_spec(mag) for mag in self.mags])
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+
+    def aggregate(self, records: list[JobRecord]) -> StudyResult:
+        rows: list[dict] = []
+        for mag in self.mags:
+            per_mag = [r for r in records if r.job.mag_bytes == mag]
+            study = slc_study_from_records(per_mag, list(self.workloads))
+            per_scheme: dict[str, dict[str, list[float]]] = {}
+            for workload in study.workloads():
+                family = workload_family(workload)
+                for scheme in study.schemes():
+                    result = study.results[workload][scheme]
+                    panel = (
+                        dict(PERFECT_FIDELITY)
+                        if _is_lossless(scheme)
+                        else {
+                            key: result.extra_metrics.get(key, float("nan"))
+                            for key in FIDELITY_KEYS
+                        }
+                    )
+                    speedup = study.speedup(workload, scheme)
+                    rows.append(
+                        {
+                            "mag_bytes": mag,
+                            "workload": workload,
+                            "family": family,
+                            "scheme": scheme,
+                            "error_percent": result.error_percent,
+                            "pearson": panel["fidelity_pearson"],
+                            "ks_stat": panel["fidelity_ks"],
+                            "iqr_mean_error": panel["fidelity_iqr_mean"],
+                            "iqr_max_error": panel["fidelity_iqr_max"],
+                            "speedup": speedup,
+                        }
+                    )
+                    bucket = per_scheme.setdefault(
+                        scheme,
+                        {"speedup": [], "pearson": [], "ks": [], "iqr_mean": [],
+                         "iqr_max": [], "error": []},
+                    )
+                    bucket["speedup"].append(speedup)
+                    bucket["pearson"].append(panel["fidelity_pearson"])
+                    bucket["ks"].append(panel["fidelity_ks"])
+                    bucket["iqr_mean"].append(panel["fidelity_iqr_mean"])
+                    bucket["iqr_max"].append(panel["fidelity_iqr_max"])
+                    bucket["error"].append(result.error_percent)
+
+            # summary row per scheme: worst-case panel, geomean speedup
+            for scheme, bucket in per_scheme.items():
+                rows.append(
+                    {
+                        "mag_bytes": mag,
+                        "workload": "WORST",
+                        "family": "summary",
+                        "scheme": scheme,
+                        "error_percent": max(bucket["error"], default=0.0),
+                        "pearson": min(bucket["pearson"], default=1.0),
+                        "ks_stat": max(bucket["ks"], default=0.0),
+                        "iqr_mean_error": max(bucket["iqr_mean"], default=0.0),
+                        "iqr_max_error": max(bucket["iqr_max"], default=0.0),
+                        "speedup": geometric_mean(bucket["speedup"]),
+                    }
+                )
+        return self.make_result(rows)
+
+    def format(self, result: StudyResult) -> str:
+        lines = [result.format(), ""]
+        worst = [row for row in result.rows if row["workload"] == "WORST"]
+        for row in worst:
+            if math.isfinite(row["pearson"]):
+                lines.append(
+                    f"worst case @ MAG {row['mag_bytes']} B, {row['scheme']}: "
+                    f"pearson {row['pearson']:.4f}, KS {row['ks_stat']:.4f}, "
+                    f"IQR mean {row['iqr_mean_error']:.4f}"
+                )
+        return "\n".join(lines)

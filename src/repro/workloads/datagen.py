@@ -52,6 +52,49 @@ def smooth_image(
     return image.astype(np.float32)
 
 
+def spectral_field(
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    num_waves: int = 12,
+    spectrum_exponent: float = 1.6,
+    min_wavelength_px: float = 8.0,
+    max_wavelength_px: float = 512.0,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A spatially correlated field with a power-law wavelength spectrum.
+
+    Superimposes ``num_waves`` plane waves whose wavelengths are drawn
+    log-uniformly from [min, max] pixels and whose amplitudes follow
+    ``wavelength ** (spectrum_exponent / 2)`` — long waves dominate, the
+    way geophysical fields (pressure, temperature, geopotential) do.  A
+    larger exponent gives a smoother field; 0 gives equal power at all
+    scales.  Unlike :func:`smooth_image` the spectrum is an explicit knob,
+    which is what the WEATHER ensemble family varies.
+    """
+    if height <= 0 or width <= 0:
+        raise ValueError("field dimensions must be positive")
+    if num_waves <= 0:
+        raise ValueError("num_waves must be positive")
+    if not 0 < min_wavelength_px <= max_wavelength_px:
+        raise ValueError("wavelengths must be positive and ordered")
+    ys = np.arange(height, dtype=np.float64)[:, None]
+    xs = np.arange(width, dtype=np.float64)[None, :]
+    log_min, log_max = np.log(min_wavelength_px), np.log(max_wavelength_px)
+    field = np.zeros((height, width), dtype=np.float64)
+    for _ in range(num_waves):
+        wavelength = float(np.exp(rng.uniform(log_min, log_max)))
+        direction = rng.uniform(0.0, 2 * np.pi)
+        phase = rng.uniform(0.0, 2 * np.pi)
+        weight = rng.uniform(0.5, 1.0)
+        weight *= (wavelength / max_wavelength_px) ** (spectrum_exponent / 2.0)
+        ky = np.sin(direction) / wavelength
+        kx = np.cos(direction) / wavelength
+        field += weight * np.sin(2 * np.pi * (ys * ky + xs * kx) + phase)
+    field *= amplitude / np.sqrt(num_waves)
+    return field.astype(np.float32)
+
+
 def correlated_series(
     rng: np.random.Generator,
     length: int,

@@ -1,0 +1,129 @@
+"""DNNACT — DNN activation / motion-residual tensors (learned-codec family).
+
+The second workload family beyond the paper: the tensor traffic of a video
+DNN in the spirit of learned codecs — a ReLU-sparse activation tensor with
+per-channel scales (the post-convolution feature maps a GPU streams to and
+from DRAM) and a stack of motion-residual frames (small-magnitude,
+zero-centred differences between consecutive frames).  Both distributions
+are what make DNN traffic compressible: ReLU zeros and narrow per-channel
+value ranges in the activations, near-zero clustering in the residuals.
+
+The kernel computes per-channel pooling statistics (global average / max
+pool) and per-frame motion energy; the application error is the paper's
+MRE over those reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.error import mean_relative_error_percent
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.datagen import quantize_pow2, smooth_image
+
+
+class DNNActivationWorkload(Workload):
+    """Pooling statistics over ReLU activations and motion residuals."""
+
+    name = "DNNACT"
+    description = "DNN activation + motion-residual pooling statistics"
+    input_description = "256x448x448 ReLU activations + 32 residual frames"
+    error_metric = "MRE"
+    approx_region_count = 2
+    ops_per_byte = 2.0
+
+    #: tensor extents at scale = 1.0 — a batched mid-network layer of a
+    #: video DNN (the 56 px feature maps tiled over an 8x8 spatial batch),
+    #: sized like the paper workloads so ``scale`` has room to act
+    FULL_CHANNELS = 256
+    FULL_DIM = 448
+    FULL_FRAMES = 32
+
+    def __init__(
+        self,
+        scale: float = 1.0 / 256.0,
+        seed: int = 2019,
+        sparsity_bias: float = 0.6,
+        channel_sigma: float = 0.5,
+    ) -> None:
+        """Args beyond the base class:
+
+        sparsity_bias: pre-activation offset in units of the channel scale;
+            larger values push more elements below zero, i.e. more ReLU
+            zeros (0.6 gives the ~60-70 % sparsity typical of trained
+            CNNs).
+        channel_sigma: sigma of the log-normal per-channel scale spread.
+        """
+        super().__init__(scale=scale, seed=seed)
+        if sparsity_bias < 0:
+            raise ValueError("sparsity_bias must be non-negative")
+        if channel_sigma < 0:
+            raise ValueError("channel_sigma must be non-negative")
+        self.sparsity_bias = sparsity_bias
+        self.channel_sigma = channel_sigma
+
+    def generate(self) -> dict[str, Region]:
+        channels = self.scaled(self.FULL_CHANNELS, minimum=8)
+        frames = self.scaled(self.FULL_FRAMES, minimum=2)
+        dim = self.scaled_dim(self.FULL_DIM)
+
+        # Per-channel scales are log-normal (trained batch-norm statistics);
+        # each channel is a smooth feature map shifted below zero so ReLU
+        # zeroes the typical majority of elements.
+        scales = np.exp(self.rng.normal(0.0, self.channel_sigma, size=channels))
+        activations = np.empty((channels, dim, dim), dtype=np.float64)
+        for channel in range(channels):
+            feature = smooth_image(
+                self.rng, dim, dim,
+                amplitude=1.0, offset=0.0, noise=0.1,
+                min_wavelength_px=4.0, max_wavelength_px=float(max(8, dim)),
+            ).astype(np.float64)
+            activations[channel] = scales[channel] * (
+                feature - self.sparsity_bias
+            )
+        activations = np.maximum(activations, 0.0)
+        # Activations are quantized (int8-like training / storage precision
+        # promoted to float); residuals are small zero-centred frame diffs.
+        activations = quantize_pow2(activations, 6)
+
+        frame_stack = [
+            smooth_image(
+                self.rng, dim, dim,
+                amplitude=64.0, offset=0.0, noise=0.5,
+                min_wavelength_px=8.0, max_wavelength_px=float(max(16, dim)),
+            ).astype(np.float64)
+            for _ in range(frames + 1)
+        ]
+        residuals = np.stack(
+            [after - before for before, after in zip(frame_stack, frame_stack[1:])]
+        )
+        residuals = quantize_pow2(0.1 * residuals, 8)
+        return {
+            "activations": Region(
+                name="activations", array=activations, approximable=True
+            ),
+            "residuals": Region(
+                name="residuals", array=residuals, approximable=True
+            ),
+        }
+
+    def run(self, arrays: dict[str, np.ndarray]) -> WorkloadOutput:
+        activations = np.asarray(arrays["activations"], dtype=np.float64)
+        residuals = np.asarray(arrays["residuals"], dtype=np.float64)
+        pooled = np.stack(
+            [activations.mean(axis=(1, 2)), activations.max(axis=(1, 2))], axis=1
+        )
+        motion_energy = np.sqrt(np.mean(residuals**2, axis=(1, 2)))
+        return WorkloadOutput(
+            arrays={
+                "pooled": pooled.astype(np.float32),
+                "motion_energy": motion_energy.astype(np.float32),
+            }
+        )
+
+    def error(self, exact: WorkloadOutput, approx: WorkloadOutput) -> float:
+        errors = [
+            mean_relative_error_percent(exact[name], approx[name])
+            for name in exact.names()
+        ]
+        return float(np.mean(errors))

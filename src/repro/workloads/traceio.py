@@ -1,0 +1,311 @@
+"""Trace ingestion: replay externally captured address/data traces.
+
+An interchange file (NumPy ``.npz``) carries everything the simulator
+consumes from a workload — the memory regions (names, data arrays,
+approximable/output flags, in layout order) and the block-granular access
+trace as flat columns — so a trace captured outside this repository (or
+exported from a registry workload by ``repro trace export``) replays
+through the vectorized engine exactly like any registry workload:
+
+* :func:`capture_trace` snapshots a workload into a :class:`TraceBundle`,
+* :func:`save_trace` / :func:`load_trace` round-trip a bundle through the
+  ``.npz`` interchange format,
+* :class:`TraceWorkload` wraps a bundle as a :class:`Workload`, and
+* :func:`register_trace` plugs a trace file into the workload registry.
+
+A :class:`TraceWorkload` reproduces the captured run bit-exactly: same
+region layout, same backend training sample, same compiled trace, hence
+identical counters and payload digest (pinned by the round-trip test).
+The captured file carries data, not the kernel, so ``error_percent`` is 0
+by construction — the statistical fidelity panel, which compares the
+degraded approximable regions against their exact data, still reports how
+much the lossy path damaged the stored values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.gpu.trace import AccessType, MemoryAccess, MemoryTrace, TraceArrays
+from repro.utils.blocks import DEFAULT_BLOCK_SIZE
+from repro.workloads.base import Region, Workload, WorkloadOutput
+from repro.workloads.registry import register_workload
+
+#: bumped whenever the interchange layout changes incompatibly
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceBundle:
+    """One captured run: regions in layout order plus the flat trace."""
+
+    #: trace name (uppercased; becomes the workload name on ingest)
+    name: str
+    #: block size the trace was captured at
+    block_size_bytes: int
+    #: the captured workload's compute intensity (drives the timing model,
+    #: so the replay reproduces the original compute/memory overlap)
+    ops_per_byte: float = 1.0
+    #: regions in the simulator's layout order (inputs first, then outputs)
+    regions: list[Region] = field(default_factory=list)
+    #: the access trace as flat per-access columns
+    trace: TraceArrays | None = None
+
+    def input_regions(self) -> list[Region]:
+        """The captured input regions, in layout order."""
+        return [region for region in self.regions if not region.is_output]
+
+    def output_regions(self) -> list[Region]:
+        """The captured output regions, in layout order."""
+        return [region for region in self.regions if region.is_output]
+
+
+def capture_trace(
+    workload: Workload, block_size_bytes: int = DEFAULT_BLOCK_SIZE
+) -> TraceBundle:
+    """Snapshot a workload's regions and trace into a :class:`TraceBundle`.
+
+    Runs the same generate → kernel → trace pipeline the simulator runs,
+    so replaying the bundle reproduces the original run bit-exactly.
+    """
+    input_regions = workload.generate()
+    exact_outputs = workload.run(workload.input_arrays(input_regions))
+    all_regions: dict[str, Region] = dict(input_regions)
+    all_regions.update(workload.output_regions(exact_outputs))
+    trace = workload.trace(all_regions, block_size_bytes=block_size_bytes)
+    return TraceBundle(
+        name=workload.name.upper(),
+        block_size_bytes=block_size_bytes,
+        ops_per_byte=float(workload.ops_per_byte),
+        regions=list(all_regions.values()),
+        trace=trace.as_arrays(),
+    )
+
+
+def save_trace(path: str | Path, bundle: TraceBundle) -> Path:
+    """Write a bundle to the ``.npz`` interchange format."""
+    if bundle.trace is None:
+        raise ValueError("bundle has no trace to save")
+    names = [region.name for region in bundle.regions]
+    if len(set(names)) != len(names):
+        raise ValueError("region names must be unique")
+    unknown = set(bundle.trace.regions) - set(names)
+    if unknown:
+        raise ValueError(f"trace references unknown regions: {sorted(unknown)}")
+    meta = {
+        "format": TRACE_FORMAT_VERSION,
+        "name": bundle.name.upper(),
+        "block_size_bytes": int(bundle.block_size_bytes),
+        "ops_per_byte": float(bundle.ops_per_byte),
+        "regions": [
+            {
+                "name": region.name,
+                "approximable": bool(region.approximable),
+                "is_output": bool(region.is_output),
+                "dtype": str(region.array.dtype),
+                "shape": list(region.array.shape),
+            }
+            for region in bundle.regions
+        ],
+        "trace_regions": list(bundle.trace.regions),
+    }
+    arrays = {
+        f"region_{index}": region.array
+        for index, region in enumerate(bundle.regions)
+    }
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        trace_region_index=bundle.trace.region_index,
+        trace_block_index=bundle.trace.block_index,
+        trace_is_write=bundle.trace.is_write,
+        trace_counts=bundle.trace.counts,
+        **arrays,
+    )
+    # np.savez appends .npz when missing; report the real on-disk path
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def load_bundle(path: str | Path) -> TraceBundle:
+    """Read a :class:`TraceBundle` back from an interchange file."""
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]))
+        if meta.get("format") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace format {meta.get('format')!r} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        regions: list[Region] = []
+        for index, spec in enumerate(meta["regions"]):
+            array = data[f"region_{index}"]
+            if str(array.dtype) != spec["dtype"] or list(array.shape) != spec["shape"]:
+                raise ValueError(
+                    f"{path}: region {spec['name']!r} does not match its "
+                    f"declared dtype/shape"
+                )
+            regions.append(
+                Region(
+                    name=spec["name"],
+                    array=array,
+                    approximable=spec["approximable"],
+                    is_output=spec["is_output"],
+                )
+            )
+        trace = TraceArrays(
+            region_index=data["trace_region_index"],
+            block_index=data["trace_block_index"],
+            is_write=data["trace_is_write"],
+            counts=data["trace_counts"],
+            regions=tuple(meta["trace_regions"]),
+        )
+    return TraceBundle(
+        name=meta["name"],
+        block_size_bytes=int(meta["block_size_bytes"]),
+        ops_per_byte=float(meta.get("ops_per_byte", 1.0)),
+        regions=regions,
+        trace=trace,
+    )
+
+
+def _rebuild_trace(arrays: TraceArrays) -> MemoryTrace:
+    """Reconstruct a :class:`MemoryTrace` whose columns equal ``arrays``.
+
+    Contiguous runs of single-count accesses to one region become one
+    array-backed stream segment (the fast path — workload-generated traces
+    are entirely single-count); accesses with repeat counts are appended
+    individually to preserve the RLE column bit-exactly.
+    """
+    trace = MemoryTrace()
+    n = len(arrays)
+    if n == 0:
+        return trace
+    # run boundaries: region or read/write flips
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    change[1:] = (
+        (arrays.region_index[1:] != arrays.region_index[:-1])
+        | (arrays.is_write[1:] != arrays.is_write[:-1])
+    )
+    starts = np.flatnonzero(change).tolist() + [n]
+    for begin, end in zip(starts, starts[1:]):
+        region = arrays.regions[int(arrays.region_index[begin])]
+        access_type = (
+            AccessType.WRITE if bool(arrays.is_write[begin]) else AccessType.READ
+        )
+        counts = arrays.counts[begin:end]
+        if np.all(counts == 1):
+            trace.add_blocks(region, arrays.block_index[begin:end], access_type)
+            continue
+        cursor = begin
+        while cursor < end:
+            if arrays.counts[cursor] == 1:
+                stop = cursor
+                while stop < end and arrays.counts[stop] == 1:
+                    stop += 1
+                trace.add_blocks(
+                    region, arrays.block_index[cursor:stop], access_type
+                )
+                cursor = stop
+            else:
+                trace.append(
+                    MemoryAccess(
+                        region=region,
+                        block_index=int(arrays.block_index[cursor]),
+                        access_type=access_type,
+                        count=int(arrays.counts[cursor]),
+                    )
+                )
+                cursor += 1
+    return trace
+
+
+class TraceWorkload(Workload):
+    """A captured trace as a first-class workload.
+
+    ``generate()`` returns the captured input regions, ``run()`` replays
+    the captured outputs (the file carries data, not the kernel — see the
+    module docstring) and ``trace()`` rebuilds the captured access
+    sequence, so the simulator reproduces the original run bit-exactly.
+    """
+
+    description = "Ingested address/data trace"
+    input_description = "captured trace"
+    error_metric = "n/a (fidelity panel)"
+
+    def __init__(self, bundle: TraceBundle, scale: float = 1.0, seed: int = 2019) -> None:
+        super().__init__(scale=scale, seed=seed)
+        if bundle.trace is None:
+            raise ValueError("bundle has no trace")
+        self.bundle = bundle
+        self.name = bundle.name
+        self.ops_per_byte = bundle.ops_per_byte
+        self.approx_region_count = sum(
+            region.approximable for region in bundle.regions
+        )
+
+    def generate(self) -> dict[str, Region]:
+        return {
+            region.name: Region(
+                name=region.name,
+                array=region.array,
+                approximable=region.approximable,
+                is_output=False,
+            )
+            for region in self.bundle.input_regions()
+        }
+
+    def run(self, arrays: dict[str, np.ndarray]) -> WorkloadOutput:
+        return WorkloadOutput(
+            arrays={
+                region.name: region.array
+                for region in self.bundle.output_regions()
+            }
+        )
+
+    def error(self, exact: WorkloadOutput, approx: WorkloadOutput) -> float:
+        # The captured outputs are data, not a re-runnable kernel, so both
+        # sides are identical by construction; data-level damage appears in
+        # the fidelity panel instead.
+        return 0.0
+
+    def trace(
+        self,
+        regions: dict[str, Region],
+        block_size_bytes: int = DEFAULT_BLOCK_SIZE,
+    ) -> MemoryTrace:
+        if block_size_bytes != self.bundle.block_size_bytes:
+            raise ValueError(
+                f"trace was captured at {self.bundle.block_size_bytes} B blocks, "
+                f"cannot replay at {block_size_bytes} B"
+            )
+        return _rebuild_trace(self.bundle.trace)
+
+
+def load_trace(path: str | Path, seed: int = 2019) -> TraceWorkload:
+    """Load an interchange file as a ready-to-simulate workload."""
+    return TraceWorkload(load_bundle(path), seed=seed)
+
+
+def register_trace(path: str | Path, name: str | None = None) -> str:
+    """Register an interchange file in the workload registry.
+
+    The trace then behaves like any registry workload for in-process use
+    (``get_workload(name)``); the factory ignores ``scale`` because a
+    captured trace has a fixed size.  Returns the registered name.
+    """
+    bundle = load_bundle(path)
+    registered = (name or bundle.name).upper()
+
+    def factory(scale: float = 1.0, seed: int = 2019) -> TraceWorkload:
+        workload = TraceWorkload(bundle, seed=seed)
+        workload.name = registered
+        return workload
+
+    register_workload(registered, factory, family="trace")
+    return registered

@@ -1,0 +1,242 @@
+"""Property and unit tests for the statistical fidelity metrics.
+
+The hypothesis suite pins the mathematical contracts of
+:mod:`repro.metrics.fidelity` — bounds, identity cases, the affine
+invariance of the IQR-normalized error — and the explicit ValueError
+behaviour on malformed inputs (shape mismatch, empty arrays, NaN/inf).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.fidelity import (
+    fidelity_panel,
+    fidelity_summary,
+    iqr_normalized_errors,
+    ks_statistic,
+    pearson_correlation,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def arrays(min_size=1, max_size=64):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=min_size, max_value=max_size),
+        elements=finite_floats,
+    )
+
+
+def array_pairs(min_size=1, max_size=64):
+    """Two same-shaped finite arrays."""
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(dtype=np.float64, shape=n, elements=finite_floats),
+            hnp.arrays(dtype=np.float64, shape=n, elements=finite_floats),
+        )
+    )
+
+
+# --------------------------------------------------------------------- #
+# bounds
+
+
+@settings(max_examples=200, deadline=None)
+@given(array_pairs())
+def test_pearson_bounded(pair):
+    exact, approx = pair
+    r = pearson_correlation(exact, approx)
+    assert -1.0 <= r <= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(array_pairs())
+def test_ks_bounded(pair):
+    exact, approx = pair
+    ks = ks_statistic(exact, approx)
+    assert 0.0 <= ks <= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(array_pairs())
+def test_iqr_errors_nonnegative_and_ordered(pair):
+    exact, approx = pair
+    mean_err, max_err = iqr_normalized_errors(exact, approx)
+    assert mean_err >= 0.0
+    assert max_err >= mean_err
+    assert np.isfinite(mean_err) and np.isfinite(max_err)
+
+
+# --------------------------------------------------------------------- #
+# identity: exact == approx
+
+
+@settings(max_examples=100, deadline=None)
+@given(arrays())
+def test_identical_arrays_are_perfect(exact):
+    assert pearson_correlation(exact, exact) == 1.0
+    assert ks_statistic(exact, exact) == 0.0
+    assert iqr_normalized_errors(exact, exact) == (0.0, 0.0)
+    panel = fidelity_panel(exact, exact)
+    assert panel == {"pearson": 1.0, "ks": 0.0, "iqr_mean": 0.0, "iqr_max": 0.0}
+
+
+# --------------------------------------------------------------------- #
+# invariance of the IQR-normalized error under affine maps of both sides
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    array_pairs(min_size=4),
+    st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+)
+def test_iqr_error_affine_invariant(pair, a, b):
+    exact, approx = pair
+    # needs a non-degenerate IQR so the normalizer doesn't switch branches
+    if np.percentile(exact, 75) - np.percentile(exact, 25) <= 1e-6:
+        return
+    base = iqr_normalized_errors(exact, approx)
+    mapped = iqr_normalized_errors(a * exact + b, a * approx + b)
+    assert mapped[0] == pytest.approx(base[0], rel=1e-9, abs=1e-12)
+    assert mapped[1] == pytest.approx(base[1], rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(arrays(min_size=2), st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+def test_pearson_shift_invariant(exact, shift):
+    r = pearson_correlation(exact, exact + shift)
+    if np.ptp(exact) == 0.0:
+        # constant fields: equality convention, see below
+        assert r in (0.0, 1.0)
+    else:
+        assert r == pytest.approx(1.0, abs=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# constant-field conventions
+
+
+def test_constant_fields_equal():
+    const = np.full(32, 3.5)
+    assert pearson_correlation(const, const.copy()) == 1.0
+    assert ks_statistic(const, const.copy()) == 0.0
+    assert iqr_normalized_errors(const, const.copy()) == (0.0, 0.0)
+
+
+def test_constant_fields_differ():
+    exact = np.full(32, 3.5)
+    approx = np.full(32, 4.0)
+    # no variance on either side: correlation is undefined, reported as 0
+    assert pearson_correlation(exact, approx) == 0.0
+    # disjoint point masses: maximal distribution distance
+    assert ks_statistic(exact, approx) == 1.0
+    # IQR and range are both zero; the scale falls back to max(|value|, 1)
+    mean_err, max_err = iqr_normalized_errors(exact, approx)
+    assert mean_err == pytest.approx(0.5 / 3.5)
+    assert max_err == pytest.approx(0.5 / 3.5)
+
+
+def test_zero_constant_fallback_scale_is_one():
+    exact = np.zeros(8)
+    approx = np.full(8, 0.25)
+    mean_err, _ = iqr_normalized_errors(exact, approx)
+    assert mean_err == pytest.approx(0.25)
+
+
+# --------------------------------------------------------------------- #
+# known-value sanity
+
+
+def test_pearson_perfect_anticorrelation():
+    x = np.arange(16.0)
+    assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+
+def test_ks_disjoint_supports():
+    a = np.arange(16.0)
+    b = np.arange(16.0) + 100.0
+    assert ks_statistic(a, b) == 1.0
+
+
+def test_ks_matches_half_overlap():
+    # [0,1] vs [0.5, 1.5] uniform grids: KS = 0.5 at the support edge
+    a = np.linspace(0.0, 1.0, 101)
+    b = np.linspace(0.5, 1.5, 101)
+    assert ks_statistic(a, b) == pytest.approx(0.5, abs=0.02)
+
+
+# --------------------------------------------------------------------- #
+# error handling
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [pearson_correlation, ks_statistic, iqr_normalized_errors, fidelity_panel],
+)
+def test_shape_mismatch_raises(fn):
+    with pytest.raises(ValueError, match="shape"):
+        fn(np.zeros(4), np.zeros(5))
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [pearson_correlation, ks_statistic, iqr_normalized_errors, fidelity_panel],
+)
+def test_empty_raises(fn):
+    with pytest.raises(ValueError, match="empty"):
+        fn(np.zeros(0), np.zeros(0))
+
+
+@pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+@pytest.mark.parametrize(
+    "fn",
+    [pearson_correlation, ks_statistic, iqr_normalized_errors, fidelity_panel],
+)
+def test_non_finite_raises(fn, bad):
+    good = np.ones(4)
+    poisoned = good.copy()
+    poisoned[2] = bad
+    with pytest.raises(ValueError, match="finite"):
+        fn(poisoned, good)
+    with pytest.raises(ValueError, match="finite"):
+        fn(good, poisoned)
+
+
+def test_multidimensional_inputs_are_flattened():
+    exact = np.arange(24.0).reshape(2, 3, 4)
+    assert pearson_correlation(exact, exact) == 1.0
+    assert fidelity_panel(exact, exact)["ks"] == 0.0
+
+
+# --------------------------------------------------------------------- #
+# fidelity_summary (worst case over regions)
+
+
+def test_summary_worst_case_over_regions():
+    rng = np.random.default_rng(7)
+    clean = rng.normal(size=256)
+    noisy = clean + rng.normal(scale=0.5, size=256)
+    exact = {"a": clean, "b": clean}
+    approx = {"a": clean.copy(), "b": noisy}
+    summary = fidelity_summary(exact, approx)
+    panel_b = fidelity_panel(clean, noisy)
+    assert summary["fidelity_pearson"] == panel_b["pearson"]
+    assert summary["fidelity_ks"] == panel_b["ks"]
+    assert summary["fidelity_iqr_mean"] == panel_b["iqr_mean"]
+    assert summary["fidelity_iqr_max"] == panel_b["iqr_max"]
+
+
+def test_summary_key_mismatch_raises():
+    with pytest.raises(ValueError):
+        fidelity_summary({"a": np.ones(4)}, {"b": np.ones(4)})
+
+
+def test_summary_empty_raises():
+    with pytest.raises(ValueError):
+        fidelity_summary({}, {})

@@ -3,7 +3,9 @@
 Pins every :class:`SimulationResult` counter *and* a SHA-256 digest of the
 stored payload bytes (address, bursts, stored bits, lossy flag, degraded
 data) for the 9-workload × {E2MC, TSLC-SIMP, TSLC-PRED, TSLC-OPT} ×
-MAG {16, 32, 64} grid at a reduced input scale, against values produced by
+MAG {16, 32, 64} grid — plus a lossless-scheme slice and the extended
+families (WEATHER, DNNACT) × {E2MC, TSLC-OPT} — at a reduced input scale,
+against values produced by
 the fully scalar reference pipeline (per-block store, per-access trace
 replay, per-symbol payload codec).  Both the scalar and the fully batched
 path (vectorized kernels + replay engine + payload codec) must reproduce
@@ -33,7 +35,7 @@ from repro.campaign.spec import (
     Job,
 )
 from repro.campaign.worker import simulate_job
-from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+from repro.workloads.registry import EXTENDED_WORKLOAD_ORDER, PAPER_WORKLOAD_ORDER
 
 FIXTURE_PATH = Path(__file__).parent / "golden_results.json"
 
@@ -49,6 +51,10 @@ MAGS = (16, 32, 64)
 #: coverage for them would double the suite for schemes whose size analysis
 #: is already pinned exhaustively by tests/test_lossless_batch.py
 LOSSLESS_WORKLOADS = ("BS", "NN", "SRAD1")
+#: the extended families are pinned against the baseline and the strongest
+#: TSLC variant — enough to catch drift in their data generation and in the
+#: lossy path over their distributions without doubling the suite
+EXTENDED_SCHEMES = (BASELINE_SCHEME, "TSLC-OPT")
 GRID = [
     (workload, scheme, mag)
     for workload in PAPER_WORKLOAD_ORDER
@@ -58,6 +64,11 @@ GRID = [
     (workload, scheme, mag)
     for workload in LOSSLESS_WORKLOADS
     for scheme in LOSSLESS_SCHEMES
+    for mag in MAGS
+] + [
+    (workload, scheme, mag)
+    for workload in EXTENDED_WORKLOAD_ORDER
+    for scheme in EXTENDED_SCHEMES
     for mag in MAGS
 ]
 

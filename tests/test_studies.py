@@ -50,6 +50,7 @@ EXPECTED_STUDIES = {
     "seed-variance",
     "gpu-scaling",
     "tournament",
+    "fidelity",
 }
 
 
@@ -510,6 +511,54 @@ def test_tournament_end_to_end(tmp_path):
 
     # the formatted table names the frontier
     assert "Pareto frontier @ MAG 32 B" in study.format(result)
+
+
+# --------------------------------------------------------------------- #
+# the fidelity study
+
+
+def test_fidelity_requires_baseline():
+    from repro.studies import FidelityStudy
+
+    with pytest.raises(ValueError, match="E2MC baseline"):
+        FidelityStudy(schemes=("TSLC-OPT",))
+
+
+def test_fidelity_end_to_end(tmp_path):
+    from repro.studies import FidelityStudy
+
+    schemes = ("E2MC", "TSLC-OPT")
+    study = FidelityStudy(
+        workloads=("NN", "WEATHER"), schemes=schemes, mags=(16,), scale=SMALL
+    )
+    result = study.run(store=str(tmp_path / "store"))
+
+    per_cell = [r for r in result.rows if r["workload"] != "WORST"]
+    worst = [r for r in result.rows if r["workload"] == "WORST"]
+    assert {(r["workload"], r["scheme"]) for r in per_cell} == {
+        (w, s) for w in ("NN", "WEATHER") for s in schemes
+    }
+    assert {r["scheme"] for r in worst} == set(schemes)
+
+    for row in per_cell:
+        assert -1.0 <= row["pearson"] <= 1.0
+        assert 0.0 <= row["ks_stat"] <= 1.0
+        assert row["iqr_mean_error"] >= 0.0
+        assert row["iqr_max_error"] >= row["iqr_mean_error"]
+        assert row["speedup"] > 0
+    # the family taxonomy is threaded through to the export
+    families = {r["workload"]: r["family"] for r in per_cell}
+    assert families == {"NN": "paper", "WEATHER": "science"}
+    # lossless rows synthesize a perfect panel
+    for row in per_cell:
+        if row["scheme"] == "E2MC":
+            assert row["pearson"] == 1.0
+            assert row["ks_stat"] == 0.0
+            assert row["iqr_mean_error"] == 0.0
+    # lossy rows at MAG 16 actually damage something on these workloads
+    lossy = [r for r in per_cell if r["scheme"] == "TSLC-OPT"]
+    assert any(r["pearson"] < 1.0 for r in lossy)
+    assert "worst case @ MAG 16 B" in study.format(result)
 
 
 def test_cli_study_run_tournament(tmp_path, capsys):

@@ -1,4 +1,9 @@
-"""Tests for the nine benchmarks: data generation, kernels, error metrics."""
+"""Tests for the benchmark registry: data generation, kernels, error metrics.
+
+Covers the paper's nine benchmarks plus the extended families (WEATHER,
+DNNACT) through the same parametrized contract suite, and the plugin
+registration hook.
+"""
 
 import numpy as np
 import pytest
@@ -6,23 +11,29 @@ import pytest
 from repro.workloads import (
     available_workloads,
     get_workload,
+    register_workload,
     table3_rows,
+    unregister_workload,
+    workload_family,
 )
-from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+from repro.workloads.registry import EXTENDED_WORKLOAD_ORDER, PAPER_WORKLOAD_ORDER
 
 SMALL_SCALE = 1.0 / 1024.0
 
+ALL_BUILTIN = (*PAPER_WORKLOAD_ORDER, *EXTENDED_WORKLOAD_ORDER)
 
-@pytest.fixture(scope="module", params=PAPER_WORKLOAD_ORDER)
+
+@pytest.fixture(scope="module", params=ALL_BUILTIN)
 def workload(request):
     return get_workload(request.param, scale=SMALL_SCALE, seed=7)
 
 
 def test_registry_order_matches_paper():
-    assert available_workloads() == list(PAPER_WORKLOAD_ORDER)
+    assert available_workloads() == list(ALL_BUILTIN)
     assert PAPER_WORKLOAD_ORDER == (
         "JM", "BS", "DCT", "FWT", "TP", "BP", "NN", "SRAD1", "SRAD2",
     )
+    assert EXTENDED_WORKLOAD_ORDER == ("WEATHER", "DNNACT")
 
 
 def test_registry_unknown_workload():
@@ -34,15 +45,56 @@ def test_registry_case_insensitive():
     assert get_workload("srad1", scale=SMALL_SCALE).name == "SRAD1"
 
 
+def test_workload_families():
+    for name in PAPER_WORKLOAD_ORDER:
+        assert workload_family(name) == "paper"
+    assert workload_family("WEATHER") == "science"
+    assert workload_family("dnnact") == "dnn"
+    with pytest.raises(KeyError):
+        workload_family("matmul")
+
+
+def test_register_workload_plugin_hook():
+    from repro.workloads.weather import WeatherWorkload
+
+    def factory(scale=SMALL_SCALE, seed=2019):
+        plugin = WeatherWorkload(scale=scale, seed=seed, members=2)
+        plugin.name = "WEATHER2"
+        return plugin
+
+    name = "WEATHER2"
+    register_workload(name, factory)
+    try:
+        assert name in available_workloads()
+        assert workload_family(name) == "user"
+        assert get_workload("weather2", scale=SMALL_SCALE).name == "WEATHER2"
+        # duplicate names are rejected, case-insensitively
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("weather2", factory)
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("WEATHER", factory)
+    finally:
+        unregister_workload(name)
+    assert name not in available_workloads()
+
+
+def test_unregister_builtin_rejected():
+    with pytest.raises(ValueError):
+        unregister_workload("NN")
+
+
 def test_table3_rows_structure():
     rows = table3_rows(scale=SMALL_SCALE)
-    assert len(rows) == 9
+    assert len(rows) == len(ALL_BUILTIN)
+    assert [row[0] for row in rows[:9]] == list(PAPER_WORKLOAD_ORDER)
     by_name = {row[0]: row for row in rows}
     assert by_name["JM"][3] == "Miss rate"
     assert by_name["BS"][4] == 4
     assert by_name["SRAD1"][4] == 8
     assert by_name["SRAD2"][4] == 6
     assert by_name["NN"][2] == "20 M records"
+    assert by_name["WEATHER"][3] == "IQR error"
+    assert by_name["DNNACT"][3] == "MRE"
 
 
 def test_generate_is_deterministic(workload):
