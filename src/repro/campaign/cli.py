@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
 import sys
 import time
 from collections import deque
@@ -220,9 +221,25 @@ def _summarize(outcome: CampaignResult, spec: CampaignSpec, store: ResultStore,
     return 1 if (outcome.n_failed or outcome.n_missing) else 0
 
 
+def _apply_chunk_accesses(args: argparse.Namespace) -> None:
+    """Export ``--chunk-accesses`` as ``REPRO_CHUNK_ACCESSES``.
+
+    The environment is how the budget reaches pool workers (fork and spawn)
+    and leased remote workers without touching job hashes — chunking never
+    changes results, so it must stay out of result identity.
+    """
+    value = getattr(args, "chunk_accesses", None)
+    if value is None:
+        return
+    if value <= 0:
+        raise ValueError("--chunk-accesses must be positive")
+    os.environ["REPRO_CHUNK_ACCESSES"] = str(value)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``campaign run``: expand, simulate, persist, summarize."""
     try:
+        _apply_chunk_accesses(args)
         spec = _spec_from_args(args)
         store = ResultStore(args.dir, args.store_backend)
     except (KeyError, ValueError) as exc:
@@ -245,6 +262,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """``campaign serve``: coordinate the grid over remote lease workers."""
     try:
+        # Applies to the coordinator's in-process fallback pool; remote
+        # workers set their own budget via 'campaign worker --chunk-accesses'.
+        _apply_chunk_accesses(args)
         spec = _spec_from_args(args)
         store = ResultStore(args.dir, args.store_backend)
     except (KeyError, ValueError) as exc:
@@ -286,6 +306,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_worker(args: argparse.Namespace) -> int:
     """``campaign worker``: join a coordinator and execute leased jobs."""
+    try:
+        _apply_chunk_accesses(args)
+    except ValueError as exc:
+        _log.error("error: %s", exc)
+        return 2
     store = ResultStore(args.dir, args.store_backend) if args.dir else None
     try:
         summary = run_worker(
@@ -658,6 +683,15 @@ def build_parser() -> argparse.ArgumentParser:
             "error record instead of stalling the campaign (default: none)",
         )
         parser.add_argument(
+            "--chunk-accesses",
+            type=int,
+            default=None,
+            metavar="N",
+            help="replay the compiled trace in bounded windows of at most N "
+            "entries, threading cache/controller state across windows — "
+            "bit-identical results under bounded memory (default: one pass)",
+        )
+        parser.add_argument(
             "--quiet", action="store_true", help="suppress per-job progress"
         )
         parser.add_argument(
@@ -740,6 +774,14 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--max-idle", type=float, default=None, metavar="SECONDS",
         help="exit after this long without work (default: stay until done)",
+    )
+    worker.add_argument(
+        "--chunk-accesses",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded-memory replay window for jobs this worker executes "
+        "(same semantics as 'campaign run --chunk-accesses')",
     )
     _add_store_backend(worker)
     worker.set_defaults(func=cmd_worker)

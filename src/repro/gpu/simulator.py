@@ -182,6 +182,14 @@ class GPUSimulator:
             batched miss-path accounting.  ``"scalar"`` runs the original
             per-access loop.  Results are bit-identical; the scalar mode
             exists as the reference oracle and for benchmarking.
+        chunk_accesses: with the vectorized engine, replay the compiled
+            trace in bounded windows of at most this many compiled (RLE)
+            entries, threading L2/MDC/DRAM/storage state across chunk
+            boundaries — same counters and payloads bit-exactly, peak
+            memory O(chunk) instead of O(trace), which is what lets
+            scale=1 runs fit a configured budget.  ``None`` (the default)
+            replays the whole compiled trace in one pass; the scalar
+            replay mode is inherently streaming and ignores it.
         payload_digest: record a SHA-256 digest of the final stored state —
             every stored block's address, burst count, stored bits, lossy
             flag and (possibly degraded) data bytes, in address order — as
@@ -204,6 +212,7 @@ class GPUSimulator:
         train_samples: int = 1024,
         batch_store: bool = True,
         replay_mode: str = "vectorized",
+        chunk_accesses: int | None = None,
         payload_digest: bool = False,
     ) -> None:
         self.config = config or GPUConfig()
@@ -217,10 +226,13 @@ class GPUSimulator:
             raise ValueError(
                 f"replay_mode must be one of {self.REPLAY_MODES}, got {replay_mode!r}"
             )
+        if chunk_accesses is not None and chunk_accesses <= 0:
+            raise ValueError("chunk_accesses must be positive")
         self.overlap_penalty = overlap_penalty
         self.train_samples = train_samples
         self.batch_store = batch_store
         self.replay_mode = replay_mode
+        self.chunk_accesses = chunk_accesses
         self.payload_digest = payload_digest
 
     # ------------------------------------------------------------------ #
@@ -297,18 +309,24 @@ class GPUSimulator:
         # trace replay dominates sweep time.
         with span("sim.trace_build", cat="sim", workload=workload.name):
             trace = workload.trace(all_regions, block_size_bytes=block_size)
-        replay = replay_trace if self.replay_mode == "vectorized" else replay_trace_scalar
+        replay_kwargs = dict(
+            all_regions=all_regions,
+            region_blocks=region_blocks,
+            base_addresses=base_addresses,
+            l2=l2,
+            controllers=controllers,
+            interleave_blocks=self.CHANNEL_INTERLEAVE_BLOCKS,
+        )
+        if self.replay_mode == "vectorized":
+            replay = replay_trace
+            replay_kwargs["chunk_accesses"] = self.chunk_accesses
+        else:
+            # The scalar loop streams one access at a time already — a chunk
+            # budget is meaningless there, so it is silently ignored.
+            replay = replay_trace_scalar
         with span("sim.replay", cat="sim", workload=workload.name,
                   mode=self.replay_mode, accesses=len(trace)):
-            replay(
-                trace,
-                all_regions=all_regions,
-                region_blocks=region_blocks,
-                base_addresses=base_addresses,
-                l2=l2,
-                controllers=controllers,
-                interleave_blocks=self.CHANNEL_INTERLEAVE_BLOCKS,
-            )
+            replay(trace, **replay_kwargs)
 
         error_percent = 0.0
         fidelity: dict[str, float] = {}

@@ -26,9 +26,15 @@ bit-exact against per-block `analyze` (enforced by
 ``tests/test_batch_kernels.py``) and the batch codec against per-block
 `compress`/`decompress`/`apply_decision` (``tests/test_codec.py`` and the
 golden-result suite).
+
+Execution backend: every kernel runs pure single-threaded NumPy by default;
+``REPRO_KERNEL_BACKEND=threaded|numba`` (see :mod:`repro.kernels.backend`)
+routes the hottest kernels through a thread-sharded or JIT path with silent
+fallback — never changing results, only wall-clock.
 """
 
-from repro.kernels.codec import HuffmanCodecLUT, reconstruct_rows
+from repro.kernels.backend import active_backend, requested_backend, run_sharded
+from repro.kernels.codec import FusedDecodeTable, HuffmanCodecLUT, reconstruct_rows
 from repro.kernels.decision import BatchDecisions, analyze_code_lengths
 from repro.kernels.lut import CodeLengthLUT
 from repro.kernels.symbols import BatchSymbolView, as_symbol_view
@@ -40,9 +46,13 @@ __all__ = [
     "BatchSymbolView",
     "BatchTreePlan",
     "CodeLengthLUT",
+    "FusedDecodeTable",
     "HuffmanCodecLUT",
+    "active_backend",
     "analyze_code_lengths",
     "as_symbol_view",
     "reconstruct_rows",
+    "requested_backend",
+    "run_sharded",
     "select_subblocks",
 ]

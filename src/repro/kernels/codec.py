@@ -22,10 +22,18 @@ an array program over every block of a region at once:
   codeword bits are exploded with prefix-sum offsets + ``np.repeat`` and
   reassembled per row with :func:`numpy.packbits`, bit-exact against
   ``BitWriter.getvalue()``.
-* :meth:`HuffmanCodecLUT.decode_rows` — all rows decode in lockstep: one
-  Python iteration per symbol *slot* (64 for the paper geometry), with the
-  peek / ``searchsorted`` / escape-raw-bits / advance steps vectorized across
-  every block of the region.
+* :meth:`HuffmanCodecLUT.decode_rows` — multi-symbol *fused* decode: a
+  k-bit table (:class:`FusedDecodeTable`, built once per trained code) whose
+  entries resolve as many whole symbols as fit in the next ``k`` window bits
+  plus the bits they consume, so a 64-symbol block decodes in a handful of
+  table probes instead of 64 lockstep rounds.  Rows whose next codeword (or
+  escape + raw bits) does not fit the window — escape-heavy data, near-max
+  code lengths — fall back to a vectorized single-symbol ``searchsorted``
+  step for just that round.  :meth:`HuffmanCodecLUT.decode_rows_lockstep`
+  keeps the original one-``searchsorted``-per-slot loop as the bit-exact
+  oracle (identical symbols *and* identical error behavior), and
+  ``REPRO_KERNEL_BACKEND`` (:mod:`repro.kernels.backend`) optionally routes
+  the decode through a thread-sharded or numba-jitted implementation.
 * :func:`reconstruct_rows` — the TSLC truncated-symbol reconstruction
   (zero fill for SIMP, the lane-aware nearest-kept-symbol predictor for
   PRED/OPT) as masked gathers, bit-exact against
@@ -43,6 +51,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.compression.base import CompressionError, DecompressionError
+from repro.kernels import backend as kernel_backend
 from repro.kernels.lut import MAX_LUT_SYMBOL_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (e2mc -> codec)
@@ -52,6 +61,191 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (e2mc -> codec)
 #: tables are only coherent when they cover exactly the widths the
 #: code-length LUT covers, so the bound is shared, not re-declared
 MAX_CODEC_SYMBOL_BYTES = MAX_LUT_SYMBOL_BYTES
+
+#: probe width of the fused multi-symbol decode table (2**k entries)
+FUSE_BITS = 16
+
+#: most symbols one fused-table entry resolves — highly compressible regions
+#: (the common case: truncated floats are mostly zero symbols) reach 1-bit
+#: codewords, so a 16-bit window can hold up to 16 of them
+FUSE_MAX_SYMBOLS = 16
+
+#: longest codeword the fused decoder handles: a peek of ``max_length`` bits
+#: at any within-byte offset (≤ 7) must fit one gathered 64-bit window
+FUSE_MAX_CODE_LENGTH = 56
+
+#: zero bytes appended to each packed payload row so every fused-path peek
+#: (k-bit window, max_length window, escape raw bits at position + length)
+#: stays inside the matrix: the furthest read starts before
+#: ``bit_length + max_length`` and spans 8 gathered bytes
+_DECODE_PAD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class FusedDecodeTable:
+    """The k-bit multi-symbol decode table of one trained Huffman code.
+
+    Entry ``w`` describes what canonical decoding does to a bitstream whose
+    next ``k`` bits equal ``w``: the first :attr:`count` ``[w]`` symbols that
+    resolve *entirely* inside those ``k`` bits (escapes count only when the
+    escape codeword plus the raw symbol bits fit), their values in
+    :attr:`symbols` ``[w, :count]``, and the cumulative bits consumed after
+    each in :attr:`cum_bits` ``[w, :count]``.  ``count == 0`` marks windows
+    whose first codeword does not fit — the decoder takes one vectorized
+    single-symbol step there instead (the escape-heavy fallback), keyed by
+    :attr:`first`: the decode-table index of the window's leading codeword
+    whenever that codeword's own length fits the window (``-1`` when even
+    identifying it needs more than ``k`` bits, the only case that still
+    pays a ``searchsorted``).  ``count`` can be zero while ``first`` is
+    valid — an escape codeword fitting the window whose raw symbol bits
+    do not.
+
+    Correctness rests on the same property as the ``searchsorted`` decode:
+    a prefix-free code commits to a symbol after its ``length`` bits, so any
+    symbol accepted with ``cum_bits <= k`` depends only on real window bits.
+    """
+
+    symbols: np.ndarray
+    cum_bits: np.ndarray
+    count: np.ndarray
+    first: np.ndarray
+    k: int
+
+
+def _build_fused_table(lut: "HuffmanCodecLUT") -> FusedDecodeTable:
+    """Construct the fused table by vectorized decoding of all 2**k windows."""
+    k = FUSE_BITS
+    size = 1 << k
+    window = np.arange(size, dtype=np.uint64)
+    consumed = np.zeros(size, dtype=np.int64)
+    count = np.zeros(size, dtype=np.int64)
+    symbols = np.zeros((size, FUSE_MAX_SYMBOLS), dtype=np.int64)
+    cum_bits = np.zeros((size, FUSE_MAX_SYMBOLS), dtype=np.int64)
+    active = np.ones(size, dtype=bool)
+    max_length = lut.max_length
+    symbol_bits = lut.symbol_bits
+    raw_mask = np.uint64((1 << symbol_bits) - 1)
+    for j in range(FUSE_MAX_SYMBOLS):
+        rem = k - consumed
+        remaining = window & (
+            (np.uint64(1) << rem.astype(np.uint64)) - np.uint64(1)
+        )
+        # Left-justify the remaining window bits to max_length (zero-padded
+        # when fewer than max_length remain — safe, because a symbol is only
+        # accepted when its codeword lies inside the real bits).
+        shift = rem - max_length
+        value = (remaining >> np.maximum(shift, 0).astype(np.uint64)) << (
+            np.maximum(-shift, 0).astype(np.uint64)
+        )
+        index = np.maximum(
+            np.searchsorted(lut.dec_lj, value, side="right") - 1, 0
+        )
+        if j == 0:
+            # The window's leading codeword is identified with certainty
+            # whenever its own length fits the window — recorded even when
+            # the symbol does not resolve (escape raw bits overflowing),
+            # so the single-step fallback can skip its searchsorted.
+            first = np.where(lut.dec_lengths[index] <= k, index, -1)
+        symbol = lut.dec_symbols[index].copy()
+        length = lut.dec_lengths[index].copy()
+        escaped = symbol < 0
+        needed = np.where(escaped, length + symbol_bits, length)
+        ok = active & (needed <= rem)
+        raw_rows = ok & escaped
+        if raw_rows.any():
+            raw_shift = (rem - needed)[raw_rows].astype(np.uint64)
+            symbol[raw_rows] = (
+                (remaining[raw_rows] >> raw_shift) & raw_mask
+            ).astype(np.int64)
+        symbols[ok, j] = symbol[ok]
+        consumed[ok] += needed[ok]
+        cum_bits[ok, j] = consumed[ok]
+        count[ok] += 1
+        active = ok
+        if not active.any():
+            break
+    # Trim to the widest entry actually produced: production codes resolve
+    # 2-4 symbols per window, so the tables shrink ~4-8x and the hot
+    # per-probe gathers stay cache-resident.  Symbols fit int32 (<= 16-bit
+    # raw values); count/cum_bits stay int64 so the probe arithmetic
+    # (minimum with the remaining budget, position updates) needs no
+    # per-probe casts.
+    width = max(1, int(count.max()))
+    symbols = np.ascontiguousarray(symbols[:, :width]).astype(np.int32)
+    cum_bits = np.ascontiguousarray(cum_bits[:, :width])
+    for table in (symbols, cum_bits, count, first):
+        table.setflags(write=False)
+    return FusedDecodeTable(
+        symbols=symbols, cum_bits=cum_bits, count=count, first=first, k=k
+    )
+
+
+# ------------------------------------------------------------------ #
+# optional numba-jitted row decoder (REPRO_KERNEL_BACKEND=numba)
+
+_numba_decode = None
+_numba_decode_failed = False
+
+
+def _numba_decode_kernel():
+    """Build (once) the numba-jitted per-row decoder; ``None`` when numba is
+    missing or compilation fails — callers then fall back to NumPy silently."""
+    global _numba_decode, _numba_decode_failed
+    if _numba_decode is not None:
+        return _numba_decode
+    if _numba_decode_failed or not kernel_backend.numba_available():
+        _numba_decode_failed = True
+        return None
+    try:  # pragma: no cover - requires numba (exercised by the CI numba leg)
+        from numba import njit
+
+        @njit(cache=True, nogil=True)
+        def kernel(packed, bit_lengths, symbol_counts, dec_lj, dec_symbols,
+                   dec_lengths, max_length, symbol_bits, out, positions):
+            n_rows = packed.shape[0]
+            n_codes = dec_lj.shape[0]
+            for r in range(n_rows):
+                pos = 0
+                limit = bit_lengths[r]
+                for s in range(symbol_counts[r]):
+                    if pos >= limit:
+                        return r
+                    value = 0
+                    for b in range(max_length):
+                        p = pos + b
+                        value = (value << 1) | (
+                            (packed[r, p >> 3] >> (7 - (p & 7))) & 1
+                        )
+                    lo = 0
+                    hi = n_codes
+                    while lo < hi:
+                        mid = (lo + hi) >> 1
+                        if dec_lj[mid] <= value:
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    idx = lo - 1 if lo > 0 else 0
+                    symbol = dec_symbols[idx]
+                    length = dec_lengths[idx]
+                    if symbol < 0:
+                        raw = 0
+                        for b in range(symbol_bits):
+                            p = pos + length + b
+                            raw = (raw << 1) | (
+                                (packed[r, p >> 3] >> (7 - (p & 7))) & 1
+                            )
+                        symbol = raw
+                        length = length + symbol_bits
+                    out[r, s] = symbol
+                    pos = pos + length
+                positions[r] = pos
+            return -1
+
+        _numba_decode = kernel
+    except Exception:
+        _numba_decode_failed = True
+        return None
+    return _numba_decode
 
 
 @dataclass(frozen=True)
@@ -182,6 +376,46 @@ class HuffmanCodecLUT:
                 f"row_counts sum to {int(row_counts.sum())} symbols "
                 f"but {flat.size} were given"
             )
+        sharded = self._encode_rows_sharded(flat, row_counts)
+        if sharded is not None:
+            return sharded
+        return self._encode_rows_impl(flat, row_counts)
+
+    def _encode_rows_sharded(
+        self, flat: np.ndarray, row_counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Thread-sharded encode (``REPRO_KERNEL_BACKEND=threaded``).
+
+        Rows are independent, so contiguous row shards encode concurrently
+        and their packed matrices paste back (right-padded with the zero
+        bytes the single-shot path would also emit).  ``None`` when sharding
+        does not apply.
+        """
+        n_rows = row_counts.shape[0]
+        bounds = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=bounds[1:])
+        shards = kernel_backend.run_sharded(
+            lambda lo, hi: self._encode_rows_impl(
+                flat[bounds[lo] : bounds[hi]], row_counts[lo:hi]
+            ),
+            n_rows,
+        )
+        if shards is None:
+            return None
+        row_bits = np.concatenate([bits for _, bits in shards])
+        width = max(packed.shape[1] for packed, _ in shards)
+        out = np.zeros((n_rows, width), dtype=np.uint8)
+        lo = 0
+        for packed, _ in shards:
+            out[lo : lo + packed.shape[0], : packed.shape[1]] = packed
+            lo += packed.shape[0]
+        return out, row_bits
+
+    def _encode_rows_impl(
+        self, flat: np.ndarray, row_counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot NumPy encode of pre-validated rows."""
+        n_rows = row_counts.shape[0]
         lens = self.lengths[flat]
         # Bit offset of every symbol (prefix sums across the flat stream).
         sym_start = np.zeros(flat.size + 1, dtype=np.int64)
@@ -224,13 +458,35 @@ class HuffmanCodecLUT:
     # ------------------------------------------------------------------ #
     # decode
 
+    def fused_supported(self) -> bool:
+        """Whether the fused multi-symbol decoder covers this code."""
+        return self.trained and 0 < self.max_length <= FUSE_MAX_CODE_LENGTH
+
+    def fused_table(self) -> FusedDecodeTable:
+        """The k-bit fused decode table (built once, cached on the LUT)."""
+        if not self.fused_supported():
+            raise ValueError("fused decode tables need a trained, bounded code")
+        cached = getattr(self, "_fused_cache", None)
+        if cached is None:
+            cached = _build_fused_table(self)
+            object.__setattr__(self, "_fused_cache", cached)
+        return cached
+
     def decode_rows(
         self,
         payloads: list[bytes],
         bit_lengths: np.ndarray,
         symbol_counts: np.ndarray,
     ) -> np.ndarray:
-        """Decode many Huffman payloads in lockstep.
+        """Decode many Huffman payloads at once.
+
+        Dispatches to the fused multi-symbol table decoder (a handful of
+        k-bit probes per row instead of one ``searchsorted`` round per
+        symbol slot), optionally thread-sharded or numba-jitted under
+        ``REPRO_KERNEL_BACKEND`` (:mod:`repro.kernels.backend`).  Codes the
+        fused tables cannot cover fall back to
+        :meth:`decode_rows_lockstep`, which remains the bit-exact oracle —
+        every path returns identical symbols and raises identically.
 
         Args:
             payloads: per-row packed payload bytes (as produced by
@@ -246,6 +502,373 @@ class HuffmanCodecLUT:
         Raises:
             DecompressionError: if the model is untrained or a codeword runs
                 past the end of a payload (the scalar reader's ``EOFError``).
+        """
+        if not self.fused_supported():
+            return self.decode_rows_lockstep(payloads, bit_lengths, symbol_counts)
+        backend = kernel_backend.active_backend()
+        if backend == "numba":
+            decoded = self._decode_rows_numba(payloads, bit_lengths, symbol_counts)
+            if decoded is not None:
+                return decoded
+        elif backend == "threaded":
+            decoded = self._decode_rows_sharded(payloads, bit_lengths, symbol_counts)
+            if decoded is not None:
+                return decoded
+        return self._decode_rows_fused(payloads, bit_lengths, symbol_counts)
+
+    def _packed_rows(self, payloads: list[bytes], n_rows: int) -> np.ndarray:
+        """Payload bytes as one zero-padded ``(n_rows, bytes)`` matrix."""
+        lens = np.fromiter((len(p) for p in payloads), np.int64, n_rows)
+        max_bytes = int(lens.max(initial=0))
+        packed = np.zeros((n_rows, max_bytes + _DECODE_PAD_BYTES), dtype=np.uint8)
+        total = int(lens.sum())
+        if total:
+            flat = np.frombuffer(b"".join(payloads), dtype=np.uint8)
+            starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+            width = packed.shape[1]
+            row_starts = np.arange(n_rows, dtype=np.int64) * width - starts
+            index = np.arange(total, dtype=np.int64) + np.repeat(row_starts, lens)
+            packed.reshape(-1)[index] = flat
+        return packed
+
+    @staticmethod
+    def _peek_view(packed: np.ndarray) -> np.ndarray:
+        """A byte-strided uint64 window view over the packed payload matrix.
+
+        ``view[r, b]`` is the 8 bytes starting at byte ``b`` of row ``r`` as
+        one (unaligned, overlapping) machine-order uint64 — one fancy gather
+        plus a byteswap replaces an 8-byte gather-and-reduce per peek.
+        """
+        n_rows, width = packed.shape
+        return np.ndarray(
+            buffer=packed.data,
+            dtype=np.uint64,
+            shape=(n_rows, width - 7),
+            strides=(packed.strides[0], 1),
+        )
+
+    @staticmethod
+    def _peek_bits(
+        view: np.ndarray, rows: np.ndarray, positions: np.ndarray, nbits: int
+    ) -> np.ndarray:
+        """Read ``nbits`` (≤ 56) MSB-first bits at per-row bit positions.
+
+        ``view`` is the :meth:`_peek_view` of the packed matrix; the worst
+        case (within-byte offset 7 + 56-bit peek) fits one uint64 window.
+        """
+        value = view[rows, positions >> 3].byteswap()
+        offset = (positions & 7).astype(np.uint64)
+        shift = np.uint64(64 - nbits) - offset
+        return (value >> shift) & np.uint64((1 << nbits) - 1)
+
+    def _decode_rows_fused(
+        self,
+        payloads: list[bytes],
+        bit_lengths: np.ndarray,
+        symbol_counts: np.ndarray,
+    ) -> np.ndarray:
+        """Multi-symbol fused decode (see :class:`FusedDecodeTable`).
+
+        Per round, every unfinished row probes the k-bit table once and
+        commits all the whole symbols its entry resolves; rows whose entry
+        resolves none (long codeword / escape overflowing the window) take
+        one vectorized ``searchsorted`` step instead — and when most of a
+        batch gets stuck on the very first probe (escape-heavy data), those
+        rows are handed to :meth:`decode_rows_lockstep` wholesale, which is
+        faster than dragging them through fused rounds one symbol at a
+        time.  Error behavior is the oracle's: a symbol is never committed
+        if it would *start* at or past ``bit_length`` (``take`` is clamped
+        so the next round's pre-check raises), and a final straddle check
+        mirrors the oracle's end-of-stream check.
+        """
+        bit_lengths = np.asarray(bit_lengths, dtype=np.int64)
+        symbol_counts = np.asarray(symbol_counts, dtype=np.int64)
+        n_rows = len(payloads)
+        data_bits = np.fromiter(
+            (len(payload) * 8 for payload in payloads), np.int64, n_rows
+        )
+        if np.any(bit_lengths > data_bits):
+            raise DecompressionError("bit_length exceeds the available payload bytes")
+        max_count = int(symbol_counts.max(initial=0))
+        out = np.zeros((n_rows, max_count), dtype=np.int64)
+        if n_rows == 0 or max_count == 0:
+            return out
+        packed = self._packed_rows(payloads, n_rows)
+        view = self._peek_view(packed)
+        fused = self.fused_table()
+        k = fused.k
+        k_mask = np.uint64((1 << k) - 1)
+        offsets = np.arange(fused.symbols.shape[1], dtype=np.int64)
+        out_flat = out.reshape(-1)
+        position = np.zeros(n_rows, dtype=np.int64)
+        done = np.zeros(n_rows, dtype=np.int64)
+        # An escape's raw bits can be read from the step's gathered word
+        # only while escape-code + raw bits fit past the worst byte offset.
+        raw_in_word = 7 + self.max_length + self.symbol_bits <= 64
+        max_len_mask = np.uint64((1 << self.max_length) - 1)
+        raw_mask = np.uint64((1 << self.symbol_bits) - 1)
+
+        def single_step(s_rows: np.ndarray, p: np.ndarray) -> None:
+            """Decode exactly one symbol per row at bit positions ``p`` —
+            the only way past an escape or a codeword longer than the
+            window.  One word gather + one searchsorted, vectorized."""
+            word = view[s_rows, p >> 3].byteswap()
+            off = p & 7
+            w16 = (word >> (np.uint64(64 - k) - off.astype(np.uint64))) & k_mask
+            index = fused.first[w16]
+            miss = index < 0
+            if miss.any():
+                # Leading codeword longer than the window — the rare case
+                # that still needs the full left-justified searchsorted.
+                values = (
+                    word[miss]
+                    >> (
+                        np.uint64(64 - self.max_length)
+                        - off[miss].astype(np.uint64)
+                    )
+                ) & max_len_mask
+                index[miss] = (
+                    np.searchsorted(self.dec_lj, values, side="right") - 1
+                )
+            symbol = self.dec_symbols[index]
+            length = self.dec_lengths[index]
+            escaped = symbol < 0
+            if escaped.any():
+                symbol = symbol.copy()
+                length = length.copy()
+                if raw_in_word:
+                    raw = (
+                        word[escaped]
+                        >> (
+                            np.uint64(64 - self.symbol_bits)
+                            - (off[escaped] + length[escaped]).astype(np.uint64)
+                        )
+                    ) & raw_mask
+                else:
+                    raw = self._peek_bits(
+                        view,
+                        s_rows[escaped],
+                        p[escaped] + length[escaped],
+                        self.symbol_bits,
+                    )
+                symbol[escaped] = raw.astype(np.int64)
+                length[escaped] += self.symbol_bits
+            out[s_rows, done[s_rows]] = symbol
+            position[s_rows] = p + length
+            done[s_rows] += 1
+
+        first_round = True
+        while True:
+            active = np.nonzero(done < symbol_counts)[0]
+            if not active.size:
+                break
+            rows = active
+            pos = position[rows]
+            bl_r = bit_lengths[rows]
+            if np.any(pos >= bl_r):
+                raise DecompressionError("codeword ran past the end of the bitstream")
+            # One payload gather per round: 64 bits starting at the byte
+            # containing `pos`.  After the in-byte offset (<= 7) that word
+            # holds >= 57 stream bits — enough to chain three k-bit probes
+            # (two earlier probes consume <= 2k = 32 bits) without touching
+            # payload memory again.
+            word = view[rows, pos >> 3].byteswap()
+            budget = symbol_counts[rows] - done[rows]
+            base = done[rows]
+            left = budget.copy()
+            rowbase = rows * max_count + base
+            # The output cursor (absolute flat index of each row's next
+            # symbol slot) and the window shift are the only per-probe
+            # state; bits consumed and symbols resolved fall out of them
+            # after the chain (`shift0 - shift`, `cursor - rowbase`).
+            cursor = rowbase.copy()
+            shift0 = np.uint64(64 - k) - (pos & 7).astype(np.uint64)
+            shift = shift0.copy()
+            # End-of-stream bookkeeping (overrun zeroing, near-end take
+            # clamp) can only trigger within 3k consumed bits of a row's
+            # bit_length — skip it wholesale for rounds that never get
+            # close, which is every round but a row's last.
+            checked = bool((bl_r - pos).min() <= 4 * k)
+            for _ in range(3):
+                window = (word >> shift) & k_mask
+                take = np.minimum(fused.count[window], left)
+                if checked:
+                    pos_cur = pos + (shift0 - shift).astype(np.int64)
+                    take[pos_cur >= bl_r] = 0
+                    # A symbol must never start at/past bit_length (the
+                    # oracle raises there); cum_bits <= k, so only rows
+                    # within k bits of the end can overrun — clamping
+                    # their take makes the next round's pre-check raise
+                    # identically.
+                    rem = bl_r - pos_cur
+                    near = (take > 1) & (rem <= k)
+                    if near.any():
+                        cum = fused.cum_bits[window[near]]
+                        starts_ok = (
+                            offsets[None, :-1] < (take[near] - 1)[:, None]
+                        ) & (cum[:, :-1] < rem[near][:, None])
+                        take[near] = 1 + starts_ok.sum(axis=1)
+                t_max = int(take.max(initial=0))
+                if t_max == 0:
+                    break
+                good = np.nonzero(take > 0)[0]
+                t = take[good]
+                w = window[good]
+                dest = cursor[good]
+                if t_max <= 4:
+                    # Few symbols per window (the typical mid-entropy
+                    # case): scatter column by column on shrinking row
+                    # subsets — cheaper than materializing the 2D mask.
+                    out_flat[dest] = fused.symbols[w, 0]
+                    for j in range(1, t_max):
+                        more = np.nonzero(t > j)[0]
+                        out_flat[dest[more] + j] = fused.symbols[w[more], j]
+                else:
+                    valid = offsets[None, :t_max] < t[:, None]
+                    flat = dest[:, None] + offsets[None, :t_max]
+                    out_flat[flat[valid]] = fused.symbols[w, :t_max][valid]
+                cursor[good] = dest + t
+                left[good] -= t
+                shift[good] -= fused.cum_bits[w, t - 1].astype(np.uint64)
+                # Chain on only while most rows still resolve symbols —
+                # every probe costs full-width vector ops, so once the
+                # productive set is a minority the next round (which
+                # compacts `rows`) is cheaper than another probe here.
+                if good.size * 2 < rows.size:
+                    break
+            consumed = (shift0 - shift).astype(np.int64)
+            total = cursor - rowbase
+            position[rows] = pos + consumed
+            done[rows] = base + total
+            # Rows genuinely stuck — their current window resolves nothing
+            # (`take == 0` survives every probe once a window's count is
+            # zero: an escape or long codeword blocks it) — advance one
+            # symbol so the next round's chain resumes right behind it.
+            # Rows that merely ran out of probes keep their cheap fused
+            # path next round.
+            pos_cur = pos + consumed
+            blocked = np.nonzero((take == 0) & (left > 0) & (pos_cur < bl_r))[0]
+            if blocked.size:
+                if first_round:
+                    zero = blocked[total[blocked] == 0]
+                    if zero.size * 4 >= rows.size:
+                        # Escape-heavy batch: the oracle's one-searchsorted-
+                        # per-slot loop beats fused rounds that resolve one
+                        # symbol each.
+                        s_rows = rows[zero]
+                        decoded = self.decode_rows_lockstep(
+                            [payloads[i] for i in s_rows.tolist()],
+                            bit_lengths[s_rows],
+                            symbol_counts[s_rows],
+                        )
+                        out[s_rows, : decoded.shape[1]] = decoded
+                        position[s_rows] = bit_lengths[s_rows]
+                        done[s_rows] = symbol_counts[s_rows]
+                        blocked = blocked[total[blocked] > 0]
+                if blocked.size:
+                    s_rows = rows[blocked]
+                    single_step(s_rows, pos_cur[blocked])
+                    # Escape runs (JM) block the same rows round after
+                    # round; a second step here halves their round count
+                    # for one extra pass over an already-small subset.
+                    for _ in range(2):
+                        s_rows = s_rows[
+                            (done[s_rows] < symbol_counts[s_rows])
+                            & (position[s_rows] < bit_lengths[s_rows])
+                        ]
+                        if not s_rows.size:
+                            break
+                        single_step(s_rows, position[s_rows])
+            first_round = False
+        if np.any(position > bit_lengths):
+            raise DecompressionError("codeword ran past the end of the bitstream")
+        return out
+
+    def _decode_rows_sharded(
+        self,
+        payloads: list[bytes],
+        bit_lengths: np.ndarray,
+        symbol_counts: np.ndarray,
+    ) -> np.ndarray | None:
+        """Thread-sharded fused decode (``REPRO_KERNEL_BACKEND=threaded``).
+
+        Rows are independent, so contiguous row shards decode concurrently
+        through :meth:`_decode_rows_fused` and paste back.  ``None`` when
+        sharding does not apply.
+        """
+        bit_lengths = np.asarray(bit_lengths, dtype=np.int64)
+        symbol_counts = np.asarray(symbol_counts, dtype=np.int64)
+        n_rows = len(payloads)
+        shards = kernel_backend.run_sharded(
+            lambda lo, hi: self._decode_rows_fused(
+                payloads[lo:hi], bit_lengths[lo:hi], symbol_counts[lo:hi]
+            ),
+            n_rows,
+        )
+        if shards is None:
+            return None
+        max_count = int(symbol_counts.max(initial=0))
+        out = np.zeros((n_rows, max_count), dtype=np.int64)
+        lo = 0
+        for part in shards:
+            out[lo : lo + part.shape[0], : part.shape[1]] = part
+            lo += part.shape[0]
+        return out
+
+    def _decode_rows_numba(
+        self,
+        payloads: list[bytes],
+        bit_lengths: np.ndarray,
+        symbol_counts: np.ndarray,
+    ) -> np.ndarray | None:
+        """Numba-jitted decode (``REPRO_KERNEL_BACKEND=numba``).
+
+        One nopython pass over the rows: per-symbol peek, binary search of
+        the left-justified codewords, escape raw bits — the lockstep
+        algorithm without the per-slot Python overhead.  ``None`` (silent
+        NumPy fallback) when numba is missing or failed to compile.
+        """
+        kernel = _numba_decode_kernel()
+        if kernel is None:
+            return None
+        bit_lengths = np.asarray(bit_lengths, dtype=np.int64)
+        symbol_counts = np.asarray(symbol_counts, dtype=np.int64)
+        n_rows = len(payloads)
+        data_bits = np.fromiter(
+            (len(payload) * 8 for payload in payloads), np.int64, n_rows
+        )
+        if np.any(bit_lengths > data_bits):
+            raise DecompressionError("bit_length exceeds the available payload bytes")
+        max_count = int(symbol_counts.max(initial=0))
+        out = np.zeros((n_rows, max_count), dtype=np.int64)
+        if n_rows == 0 or max_count == 0:
+            return out
+        packed = self._packed_rows(payloads, n_rows)
+        positions = np.zeros(n_rows, dtype=np.int64)
+        # max_length <= 56 (fused_supported gate), so the left-justified
+        # codewords fit int64 — numba-friendlier than mixing uint64 in.
+        bad_row = kernel(
+            packed, bit_lengths, symbol_counts,
+            self.dec_lj.astype(np.int64), self.dec_symbols, self.dec_lengths,
+            self.max_length, self.symbol_bits, out, positions,
+        )
+        if bad_row >= 0 or np.any(positions > bit_lengths):
+            raise DecompressionError("codeword ran past the end of the bitstream")
+        return out
+
+    def decode_rows_lockstep(
+        self,
+        payloads: list[bytes],
+        bit_lengths: np.ndarray,
+        symbol_counts: np.ndarray,
+    ) -> np.ndarray:
+        """Decode many Huffman payloads in lockstep — the bit-exact oracle.
+
+        One Python iteration per symbol *slot* with one ``searchsorted``
+        across all unfinished rows per iteration; :meth:`decode_rows` (the
+        fused decoder) is pinned to this path symbol-for-symbol and
+        error-for-error by the codec test suite.  Same arguments, returns
+        and raises as :meth:`decode_rows`.
         """
         if not self.trained:
             raise DecompressionError("symbol model must be trained before decoding")

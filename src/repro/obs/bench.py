@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.campaign.spec import Job
 from repro.campaign.worker import build_backend, simulate_job
+from repro.compression.e2mc import E2MCCompressor
 from repro.compression.stats import geometric_mean
 from repro.core.config import SLCConfig, SLCVariant
 from repro.core.slc import SLCCompressor
@@ -32,6 +33,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.memory_controller import MemoryController
 from repro.gpu.simulator import GPUSimulator
 from repro.obs import trajectory
+from repro.obs.metrics import measure_peak_mib
 from repro.replay import replay_trace, replay_trace_scalar
 from repro.utils.blocks import array_to_blocks
 from repro.utils.sampling import sample_evenly
@@ -41,7 +43,9 @@ __all__ = [
     "QUICK_WORKLOADS",
     "measure_kernels_gm",
     "measure_codec_gm",
+    "measure_decode_gm",
     "measure_replay_gm",
+    "measure_replay_peak_mib",
     "measure_job_seconds",
     "collect_metrics",
 ]
@@ -54,6 +58,11 @@ BENCH_SCALE = 1.0 / 512.0
 REPLAY_FULL_SCALE = 1.0 / 64.0
 #: per-workload block cap for the codec measurement (scalar path ~1 ms/block)
 CODEC_MAX_BLOCKS = 384
+#: decode-measurement batch sizes (matches the benchmark suite)
+DECODE_ROWS = 8192
+QUICK_DECODE_ROWS = 2048
+#: chunk budget for the bounded-memory replay measurement
+CHUNK_ACCESSES = 128
 
 
 def _time_best(fn: Callable[[], object], repeats: int = 2) -> float:
@@ -109,6 +118,43 @@ def measure_codec_gm(
         scalar_s = _time_best(scalar)
         batch_s = _time_best(lambda: slc.decompress_batch(slc.compress_batch(blocks)))
         speedups.append(scalar_s / batch_s)
+    return geometric_mean(speedups)
+
+
+def measure_decode_gm(
+    workloads: tuple[str, ...],
+    scale: float = BENCH_SCALE,
+    n_rows: int = QUICK_DECODE_ROWS,
+) -> float:
+    """GM speedup of the fused multi-symbol decode over the lockstep oracle."""
+    import numpy as np
+
+    speedups = []
+    for name in workloads:
+        blocks = _workload_blocks(name, scale, cap=CODEC_MAX_BLOCKS)
+        compressor = E2MCCompressor()
+        compressor.train(sample_evenly(blocks, 1024))
+        payloads: list[bytes] = []
+        bits: list[int] = []
+        for compressed in compressor.compress_batch(blocks):
+            if compressed.is_compressed:
+                data, payload_bits = compressed.payload
+                payloads.append(data)
+                bits.append(payload_bits)
+        if not payloads:  # pragma: no cover - every paper workload compresses
+            continue
+        reps = -(-n_rows // len(payloads))
+        payloads = (payloads * reps)[:n_rows]
+        bit_lengths = np.asarray((bits * reps)[:n_rows], dtype=np.int64)
+        counts = np.full(
+            len(payloads), compressor.symbols_per_block, dtype=np.int64
+        )
+        lut = compressor.model.codec_table()
+        oracle_s = _time_best(
+            lambda: lut.decode_rows_lockstep(payloads, bit_lengths, counts)
+        )
+        fused_s = _time_best(lambda: lut.decode_rows(payloads, bit_lengths, counts))
+        speedups.append(oracle_s / fused_s)
     return geometric_mean(speedups)
 
 
@@ -198,6 +244,26 @@ def measure_replay_gm(workloads: tuple[str, ...], scale: float) -> float:
     return geometric_mean(speedups)
 
 
+def measure_replay_peak_mib(
+    scale: float, chunk_accesses: int = CHUNK_ACCESSES
+) -> float:
+    """tracemalloc peak (MiB) of one chunked replay of the TP trace."""
+    setup = _ReplaySetup("TP", scale)
+    l2, controllers = setup.fresh_state()
+    _, peak = measure_peak_mib(
+        replay_trace,
+        setup.trace,
+        all_regions=setup.all_regions,
+        region_blocks=setup.region_blocks,
+        base_addresses=setup.base_addresses,
+        l2=l2,
+        controllers=controllers,
+        interleave_blocks=setup.interleave,
+        chunk_accesses=chunk_accesses,
+    )
+    return peak
+
+
 def measure_job_seconds(scale: float = BENCH_SCALE) -> dict[str, float]:
     """End-to-end wall time of two representative campaign jobs."""
     jobs = {
@@ -240,6 +306,18 @@ def collect_metrics(quick: bool = True, progress=None) -> dict[str, dict]:
     say("measuring payload codec (batched vs. scalar)")
     metrics[f"codec_gm_speedup{suffix}"] = trajectory.metric(
         measure_codec_gm(workloads), unit="x"
+    )
+    say("measuring fused decode (vs. searchsorted oracle)")
+    metrics[f"decode_gm_speedup{suffix}"] = trajectory.metric(
+        measure_decode_gm(
+            workloads, n_rows=QUICK_DECODE_ROWS if quick else DECODE_ROWS
+        ),
+        unit="x",
+    )
+    say("measuring chunked-replay memory peak")
+    metrics[f"replay_peak_mib{suffix}"] = trajectory.metric(
+        measure_replay_peak_mib(replay_scale),
+        unit="MiB", higher_is_better=False, gate=False,
     )
     say("measuring end-to-end job times")
     for name, seconds in measure_job_seconds().items():

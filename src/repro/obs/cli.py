@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.obs import metrics, tracing, trajectory
 from repro.obs.log import get_logger
@@ -58,7 +59,16 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     if metrics is None:
         logger.error("error: bench snapshot needs --from FILE or --measure")
         return 2
-    out = args.out or trajectory.next_snapshot_path(args.dir)
+    out = Path(args.out) if args.out else trajectory.next_snapshot_path(args.dir)
+    if out.exists() and not args.force:
+        logger.error(
+            "error: %s already exists — snapshots are committed history; "
+            "rerun with --force to overwrite, or drop --out to auto-pick "
+            "the next free label (%s)",
+            out,
+            trajectory.next_snapshot_path(args.dir).name,
+        )
+        return 2
     label = out.stem if hasattr(out, "stem") else str(out)
     tolerance = (
         args.tolerance if args.tolerance is not None else trajectory.DEFAULT_TOLERANCE
@@ -147,6 +157,11 @@ def add_bench_parser(sub: argparse._SubParsersAction) -> None:
     add_source(snapshot)
     snapshot.add_argument(
         "--out", default=None, help="explicit output path (default: next number)"
+    )
+    snapshot.add_argument(
+        "--force",
+        action="store_true",
+        help="allow overwriting an existing snapshot file",
     )
     snapshot.set_defaults(func=cmd_snapshot)
 

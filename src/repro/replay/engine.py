@@ -51,14 +51,65 @@ def replay_trace(
     l2: SetAssociativeCache,
     controllers: list[MemoryController],
     interleave_blocks: int,
+    chunk_accesses: int | None = None,
 ) -> None:
     """Replay the kernel's block trace at array speed.
 
     Same signature and same observable effects as
     :func:`~repro.replay.reference.replay_trace_scalar`.
+
+    With ``chunk_accesses`` set, the compiled trace is processed in bounded
+    windows of at most that many compiled (RLE) entries, threading the L2,
+    MDC, DRAM open-row and storage-timeline state across chunk boundaries
+    through the mutable model objects themselves — every replay stage
+    composes (:func:`~repro.replay.l2.replay_l2` seeds from and writes back
+    the cache; controller storage/MDC/channel state advances in place), so
+    all counters and stored payloads are bit-identical to the unchunked
+    replay while peak memory stays O(chunk) instead of O(trace).
     """
+    if chunk_accesses is not None:
+        if chunk_accesses <= 0:
+            raise ValueError("chunk_accesses must be positive")
+        n_chunks = 0
+        for compiled in trace.compile_chunks(base_addresses, chunk_accesses):
+            n_chunks += 1
+            with span("replay.chunk", cat="replay", entries=len(compiled)):
+                _replay_compiled(
+                    compiled,
+                    all_regions=all_regions,
+                    region_blocks=region_blocks,
+                    l2=l2,
+                    controllers=controllers,
+                    interleave_blocks=interleave_blocks,
+                )
+        if metrics.enabled():
+            metrics.inc("replay.chunks", n_chunks)
+            metrics.observe("replay.peak_rss_mib", metrics.peak_rss_mib())
+        return
     with span("replay.compile", cat="replay"):
         compiled = trace.compile(base_addresses)
+    _replay_compiled(
+        compiled,
+        all_regions=all_regions,
+        region_blocks=region_blocks,
+        l2=l2,
+        controllers=controllers,
+        interleave_blocks=interleave_blocks,
+    )
+    if metrics.enabled():
+        metrics.observe("replay.peak_rss_mib", metrics.peak_rss_mib())
+
+
+def _replay_compiled(
+    compiled,
+    *,
+    all_regions: dict[str, Region],
+    region_blocks: dict[str, list[bytes]],
+    l2: SetAssociativeCache,
+    controllers: list[MemoryController],
+    interleave_blocks: int,
+) -> None:
+    """Replay one compiled window (the whole trace, or one chunk)."""
     with span("replay.l2", cat="replay", accesses=int(compiled.addresses.shape[0])):
         miss_mask = replay_l2(
             l2, compiled.addresses, compiled.is_write, compiled.counts

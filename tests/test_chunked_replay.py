@@ -1,0 +1,152 @@
+"""Chunked (bounded-memory) trace replay must be invisible in the results.
+
+``--chunk-accesses`` / ``REPRO_CHUNK_ACCESSES`` bound replay's peak memory by
+compiling and replaying the trace in windows of at most N compiled entries,
+threading L2/MDC/DRAM state across window boundaries.  Chunking is purely an
+execution strategy: every counter and the stored-payload digest must match
+the unchunked pipeline — and therefore the committed golden fixture —
+bit-exactly for *any* chunk size, including the degenerate chunk=1 and a
+budget larger than the whole trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign.worker import default_chunk_accesses, simulate_job
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.trace import AccessType, MemoryAccess, MemoryTrace
+from repro.obs import metrics
+
+from tests.test_golden_results import cell_job, cell_key
+
+#: one cell per pipeline flavor: the lossless baseline, the strongest TSLC
+#: variant (lossy truncation + payload codec), and a classic lossless scheme
+#: (different backend class) — enough to cross every replay-visible subsystem
+CELLS = [
+    ("NN", "E2MC", 32),
+    ("FWT", "TSLC-OPT", 16),
+    ("BS", "BDI", 64),
+]
+
+#: chunk=1 (maximum boundary crossings), a mid size that lands mid-burst,
+#: and a budget far larger than any reduced-scale trace (single chunk)
+CHUNK_SIZES = (1, 64, 10**9)
+
+
+def run_chunked(workload: str, scheme: str, mag: int, chunk: int) -> dict:
+    return simulate_job(
+        cell_job(workload, scheme, mag), chunk_accesses=chunk, payload_digest=True
+    ).to_dict()
+
+
+@pytest.mark.parametrize(
+    ("workload", "scheme", "mag"),
+    CELLS,
+    ids=[cell_key(*cell) for cell in CELLS],
+)
+@pytest.mark.parametrize("chunk", CHUNK_SIZES)
+def test_chunked_replay_matches_golden(golden_fixture, workload, scheme, mag, chunk):
+    expected = golden_fixture["cells"][cell_key(workload, scheme, mag)]
+    assert run_chunked(workload, scheme, mag, chunk) == expected
+
+
+@pytest.fixture(scope="module")
+def golden_fixture():
+    import json
+
+    from tests.test_golden_results import FIXTURE_PATH
+
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+# --------------------------------------------------------------------- #
+# compile_chunks: the trace-level building block
+
+
+def _demo_trace() -> tuple[MemoryTrace, dict[str, int]]:
+    """Mixed single accesses (with RLE repeats) and stream segments, so
+    chunk boundaries land inside streams and between repeat runs."""
+    trace = MemoryTrace()
+    trace.append(MemoryAccess("a", 3, count=2))
+    trace.add_stream("a", 7)
+    trace.append(MemoryAccess("b", 1, AccessType.WRITE))
+    trace.add_stream("b", 5, stride=2)
+    trace.append(MemoryAccess("a", 9, count=3))
+    bases = {"a": 0, "b": 1 << 20}
+    return trace, bases
+
+
+@pytest.mark.parametrize("chunk", (1, 2, 3, 7, 10**6))
+def test_compile_chunks_concatenates_to_compile(chunk):
+    trace, bases = _demo_trace()
+    whole = trace.compile(bases)
+    chunks = list(trace.compile_chunks(bases, chunk))
+    assert all(len(c) <= chunk for c in chunks)
+    for column in ("addresses", "is_write", "counts", "region_index",
+                   "block_index"):
+        whole_col = getattr(whole, column)
+        parts = [getattr(c, column) for c in chunks]
+        assert np.array_equal(np.concatenate(parts), whole_col), column
+    assert all(c.regions == whole.regions for c in chunks)
+
+
+def test_compile_chunks_empty_trace_yields_nothing():
+    assert list(MemoryTrace().compile_chunks({}, 4)) == []
+
+
+def test_compile_chunks_rejects_nonpositive_budget():
+    trace, bases = _demo_trace()
+    with pytest.raises(ValueError):
+        list(trace.compile_chunks(bases, 0))
+
+
+# --------------------------------------------------------------------- #
+# plumbing: simulator validation, env propagation, observability
+
+
+def test_simulator_rejects_nonpositive_chunk():
+    with pytest.raises(ValueError):
+        GPUSimulator(chunk_accesses=0)
+    with pytest.raises(ValueError):
+        GPUSimulator(chunk_accesses=-8)
+
+
+def test_env_var_reaches_replay(monkeypatch, golden_fixture):
+    """REPRO_CHUNK_ACCESSES is how --chunk-accesses crosses worker process
+    boundaries; an explicit argument must still win over it."""
+    workload, scheme, mag = CELLS[0]
+    expected = golden_fixture["cells"][cell_key(workload, scheme, mag)]
+    monkeypatch.setenv("REPRO_CHUNK_ACCESSES", "32")
+    assert default_chunk_accesses() == 32
+    result = simulate_job(cell_job(workload, scheme, mag), payload_digest=True)
+    assert result.to_dict() == expected
+
+
+@pytest.mark.parametrize("raw", ("0", "-3", "many"))
+def test_malformed_chunk_env_raises(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_CHUNK_ACCESSES", raw)
+    with pytest.raises(ValueError, match="REPRO_CHUNK_ACCESSES"):
+        default_chunk_accesses()
+
+
+def test_unset_chunk_env_is_none(monkeypatch):
+    monkeypatch.delenv("REPRO_CHUNK_ACCESSES", raising=False)
+    assert default_chunk_accesses() is None
+    monkeypatch.setenv("REPRO_CHUNK_ACCESSES", "  ")
+    assert default_chunk_accesses() is None
+
+
+def test_chunked_replay_reports_chunk_metrics():
+    workload, scheme, mag = CELLS[0]
+    metrics.enable()
+    try:
+        metrics.clear()
+        simulate_job(cell_job(workload, scheme, mag), chunk_accesses=16)
+        snapshot = metrics.snapshot()
+    finally:
+        metrics.clear()
+        metrics.disable()
+    assert snapshot["counters"]["replay.chunks"] > 1
+    assert snapshot["values"]["replay.peak_rss_mib"]["max"] > 0

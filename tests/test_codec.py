@@ -332,6 +332,106 @@ def test_codec_lut_max_length_codeword_is_exercised():
     assert decoded[0].tolist() == symbols
 
 
+# --------------------------------------------------------------------- #
+# fused multi-symbol decode vs. the searchsorted lockstep oracle
+
+
+def dominant_model() -> SymbolModel:
+    """A model with a 1-bit dominant codeword, so one 16-bit fused probe
+    emits many symbols at once (the table's multi-symbol fast path)."""
+    model = SymbolModel(max_table_entries=8, max_code_length=8)
+    model.fit_counts({0: 1 << 30, 1: 8, 2: 4, 3: 2, 4: 1})
+    assert model.code.lengths[0] == 1
+    return model
+
+
+def _roundtrip_pair(model: SymbolModel, rows: list[list[int]]) -> None:
+    """Encode ``rows`` and assert the fused decoder and the lockstep
+    searchsorted oracle return identical symbol matrices."""
+    lut = model.codec_table()
+    assert lut.fused_supported()
+    flat = np.asarray([s for row in rows for s in row], dtype=np.int64)
+    counts = np.asarray([len(row) for row in rows], dtype=np.int64)
+    packed, row_bits = lut.encode_rows(flat, counts)
+    payloads = [data for data, _ in lut.payloads_from_rows(packed, row_bits)]
+    fused = lut._decode_rows_fused(payloads, row_bits, counts)
+    oracle = lut.decode_rows_lockstep(payloads, row_bits, counts)
+    assert np.array_equal(fused, oracle)
+    for index, row in enumerate(rows):
+        assert fused[index, : len(row)].tolist() == row
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=0, max_size=48),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_fused_decode_matches_oracle_on_skewed_code(rows):
+    """Arbitrary 16-bit symbols through the capped skewed code: max-length
+    codewords and escape emissions, fused vs. searchsorted bit-exact."""
+    _roundtrip_pair(skewed_model(), rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(
+            st.integers(min_value=0x100, max_value=0xFFFF),  # all untabled
+            min_size=1,
+            max_size=16,
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_fused_decode_matches_oracle_escape_heavy(rows):
+    """Rows made entirely of escapes exercise the fused decoder's
+    blocked-row path (escape emissions are longer than the probe width)."""
+    _roundtrip_pair(skewed_model(), rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=4).flatmap(
+                lambda s: st.just(s) if s else st.just(0)
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    data=st.data(),
+)
+def test_fused_decode_matches_oracle_dominant_runs(rows, data):
+    """Long runs of a 1-bit dominant symbol pack up to 16 symbols into one
+    fused probe — the widest multi-symbol commit the tables support."""
+    # splice occasional rare symbols / escapes into the runs
+    spiced = []
+    for row in rows:
+        row = list(row)
+        if row and data.draw(st.booleans()):
+            row[data.draw(st.integers(0, len(row) - 1))] = data.draw(
+                st.sampled_from([1, 2, 3, 4, 0xBEEF])
+            )
+        spiced.append(row)
+    _roundtrip_pair(dominant_model(), spiced)
+
+
+@pytest.mark.parametrize("n_rows", [1, 3, 300])
+def test_fused_decode_matches_oracle_uniform_runs(n_rows):
+    """A large all-dominant batch takes the column-loop commit path
+    (every row advances 16 symbols per probe)."""
+    rows = [[0] * 64 for _ in range(n_rows)]
+    rows[-1] = [0] * 7 + [0xBEEF] + [0] * 21
+    _roundtrip_pair(dominant_model(), rows)
+
+
 def test_codec_lut_untrained_raises():
     lut = HuffmanCodecLUT.from_model(SymbolModel())
     with pytest.raises(CompressionError):

@@ -247,6 +247,37 @@ def test_bench_snapshot_and_list_cli(tmp_path, capsys):
     assert "gm_speedup" in capsys.readouterr().out
 
 
+def test_bench_snapshot_refuses_overwrite(tmp_path, capsys):
+    """Snapshots are committed history: an existing BENCH file is never
+    clobbered without --force, and omitting --out auto-picks the next
+    free label."""
+    current = tmp_path / "current.json"
+    trajectory.record(current, "gm_speedup", 12.5, unit="x")
+    existing = tmp_path / "BENCH_0001.json"
+    assert cli_main(["bench", "snapshot", "--from", str(current),
+                     "--dir", str(tmp_path)]) == 0
+    assert existing.exists()
+
+    # explicit --out onto the existing file: refused, file untouched
+    before = existing.read_text()
+    trajectory.record(current, "gm_speedup", 99.0, unit="x")
+    assert cli_main(["bench", "snapshot", "--from", str(current),
+                     "--dir", str(tmp_path), "--out", str(existing)]) == 2
+    assert existing.read_text() == before
+
+    # --force overwrites in place
+    assert cli_main(["bench", "snapshot", "--from", str(current),
+                     "--dir", str(tmp_path), "--out", str(existing),
+                     "--force"]) == 0
+    assert trajectory.load_snapshot(existing)["metrics"]["gm_speedup"]["value"] == 99.0
+
+    # no --out: the next free label is picked, nothing overwritten
+    capsys.readouterr()
+    assert cli_main(["bench", "snapshot", "--from", str(current),
+                     "--dir", str(tmp_path)]) == 0
+    assert (tmp_path / "BENCH_0002.json").exists()
+
+
 def test_bench_check_without_source_errors(tmp_path):
     _snapshot(tmp_path)
     assert cli_main(["bench", "check", "--dir", str(tmp_path)]) == 2
